@@ -1,0 +1,440 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations of the design choices called out in
+// DESIGN.md. Each benchmark regenerates its experiment at a reduced
+// window count (the paper's 80 windows shrink to benchWindows for
+// wall-clock sanity; run cmd/paperfigs -windows 80 for the full sweep)
+// and reports the headline statistic as a benchmark metric.
+package repro_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/market"
+	"repro/internal/markov"
+	"repro/internal/opt"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+const benchWindows = 6
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *experiment.Suite
+)
+
+// suite returns a shared reduced-scale suite so trace generation is
+// paid once across benchmarks.
+func suite() *experiment.Suite {
+	benchSuiteOnce.Do(func() {
+		benchSuite = experiment.NewQuickSuite(1, benchWindows)
+	})
+	return benchSuite
+}
+
+var printOnce sync.Map
+
+// printFirst emits the reproduced rows once per benchmark name, so
+// `go test -bench=.` shows the regenerated figure content without
+// repeating it for every timing iteration.
+func printFirst(name string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		f()
+	}
+}
+
+// BenchmarkFig2Availability regenerates Figure 2: per-zone and combined
+// availability over a 15-hour high-volatility window.
+func BenchmarkFig2Availability(b *testing.B) {
+	s := suite()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fig2(experiment.RegimeHigh, 5*24*trace.Hour, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = res.CombinedUpFraction
+		printFirst("fig2", func() { _ = report.Fig2(os.Stdout, res) })
+	}
+	b.ReportMetric(frac*100, "combined-up-%")
+}
+
+// BenchmarkVARAnalysis regenerates the §3.1 vector auto-regression over
+// a 12-month composite trace.
+func BenchmarkVARAnalysis(b *testing.B) {
+	s := suite()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.VarAnalysis(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.Dependence.Ratio
+		printFirst("var", func() { _ = report.Var(os.Stdout, res) })
+	}
+	b.ReportMetric(ratio, "self/cross-ratio")
+}
+
+// BenchmarkFig4Policies regenerates the Figure 4 panels (t_c = 300 s):
+// single-zone Threshold/Edge/Periodic/Markov-Daly versus best-case
+// redundancy at the figure's bids, per volatility and slack.
+func BenchmarkFig4Policies(b *testing.B) {
+	s := suite()
+	for _, regime := range []string{experiment.RegimeLow, experiment.RegimeHigh} {
+		for _, slack := range experiment.Slacks {
+			name := fmt.Sprintf("%s-slack%.0f%%", regime, slack*100)
+			b.Run(name, func(b *testing.B) {
+				var median float64
+				for i := 0; i < b.N; i++ {
+					cell, err := s.Fig4(regime, slack, 300, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					median = cell.BestRedundant[0.81].Median
+					printFirst("fig4-"+name, func() { _ = report.Fig4(os.Stdout, cell) })
+				}
+				b.ReportMetric(median, "best-red-median-$")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (optimal policies at t_c = 300 s).
+func BenchmarkTable2(b *testing.B) { benchTable(b, 300) }
+
+// BenchmarkTable3 regenerates Table 3 (optimal policies at t_c = 900 s).
+func BenchmarkTable3(b *testing.B) { benchTable(b, 900) }
+
+func benchTable(b *testing.B, tc int64) {
+	s := suite()
+	var median float64
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table(tc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		median = rows[0].Median
+		printFirst(fmt.Sprintf("table-%d", tc), func() { _ = report.BestPolicyTable(os.Stdout, tc, rows) })
+	}
+	b.ReportMetric(median, "first-cell-median-$")
+}
+
+// BenchmarkFig5Adaptive regenerates the Figure 5 panels: Adaptive versus
+// Periodic, Markov-Daly and best-case redundancy at B = $0.81.
+func BenchmarkFig5Adaptive(b *testing.B) {
+	s := suite()
+	for _, regime := range []string{experiment.RegimeLow, experiment.RegimeHigh} {
+		for _, tc := range experiment.CheckpointCosts {
+			name := fmt.Sprintf("%s-tc%d", regime, tc)
+			b.Run(name, func(b *testing.B) {
+				var median float64
+				for i := 0; i < b.N; i++ {
+					cell, err := s.Fig5(regime, experiment.Slacks[0], tc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					median = cell.Adaptive.Median
+					printFirst("fig5-"+name, func() { _ = report.Fig5(os.Stdout, cell) })
+				}
+				b.ReportMetric(median, "adaptive-median-$")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6LargeBid regenerates a Figure 6 panel: Large-bid across
+// thresholds versus Adaptive on the spike-bearing low-volatility window.
+func BenchmarkFig6LargeBid(b *testing.B) {
+	s := experiment.NewQuickSuite(9, 30) // dense tiling so windows hit the spike
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		cell, err := s.Fig6(experiment.RegimeLowSpike, experiment.Slacks[0], 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = cell.LargeBid[math.Inf(1)].Max
+		printFirst("fig6", func() { _ = report.Fig6(os.Stdout, cell) })
+	}
+	b.ReportMetric(worst, "naive-worst-$")
+}
+
+// BenchmarkHeadline computes the paper-vs-measured headline claims.
+func BenchmarkHeadline(b *testing.B) {
+	s := suite()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		h, err := s.Headline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = h.AdaptiveVsOnDemand
+		printFirst("headline", func() { _ = report.HeadlineReport(os.Stdout, h) })
+	}
+	b.ReportMetric(ratio, "adaptive-vs-od-x")
+}
+
+// BenchmarkOracleGap computes the clairvoyant lower bound per window
+// and the Adaptive-to-oracle gap (an analysis beyond the paper).
+func BenchmarkOracleGap(b *testing.B) {
+	s := suite()
+	var medianBound float64
+	for i := 0; i < b.N; i++ {
+		bounds, err := s.OracleBounds(experiment.RegimeHigh, experiment.Slacks[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range bounds {
+			sum += v
+		}
+		medianBound = sum / float64(len(bounds))
+	}
+	b.ReportMetric(medianBound, "oracle-mean-$")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+// ---------------------------------------------------------------------------
+
+func ablationConfig(delay market.DelayModel) sim.Config {
+	set := tracegen.HighVolatility(33)
+	start := set.Start() + 5*24*trace.Hour
+	return sim.Config{
+		Trace:          set.Slice(start, start+25*trace.Hour),
+		History:        set.Slice(start-2*24*trace.Hour, start),
+		Work:           20 * trace.Hour,
+		Deadline:       23 * trace.Hour,
+		CheckpointCost: 300,
+		RestartCost:    300,
+		Delay:          delay,
+		Seed:           1,
+	}
+}
+
+// BenchmarkAblationQueueDelay quantifies the cost of the measured
+// spot-request queuing delay against an idealised instant-start market.
+func BenchmarkAblationQueueDelay(b *testing.B) {
+	for _, c := range []struct {
+		name  string
+		delay market.DelayModel
+	}{
+		{"measured", market.DefaultDelay()},
+		{"none", market.FixedDelay(0)},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(ablationConfig(c.delay), core.Redundant(core.NewMarkovDaly(), 0.81, []int{0, 1, 2}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Cost
+			}
+			b.ReportMetric(cost, "cost-$")
+		})
+	}
+}
+
+// BenchmarkAblationDalyOrder compares Daly's higher-order checkpoint
+// interval against Young's first-order estimate inside Markov-Daly.
+func BenchmarkAblationDalyOrder(b *testing.B) {
+	for _, higher := range []bool{true, false} {
+		name := "young"
+		if higher {
+			name = "daly"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				pol := core.NewMarkovDaly()
+				pol.HigherOrder = higher
+				res, err := sim.Run(ablationConfig(market.FixedDelay(300)), core.SingleZone(pol, 0.81, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Cost
+			}
+			b.ReportMetric(cost, "cost-$")
+		})
+	}
+}
+
+// BenchmarkAblationZones sweeps the redundancy degree N ∈ {1, 2, 3}
+// (the paper reports diminishing returns below N = 3).
+func BenchmarkAblationZones(b *testing.B) {
+	for n := 1; n <= 3; n++ {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			zones := make([]int, n)
+			for i := range zones {
+				zones[i] = i
+			}
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(ablationConfig(market.FixedDelay(300)), core.Redundant(core.NewMarkovDaly(), 0.81, zones))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Cost
+			}
+			b.ReportMetric(cost, "cost-$")
+		})
+	}
+}
+
+// BenchmarkAblationAdaptiveTriggers compares the paper's decision
+// triggers (terminations and hour boundaries) against hour boundaries
+// only.
+func BenchmarkAblationAdaptiveTriggers(b *testing.B) {
+	for _, hourOnly := range []bool{false, true} {
+		name := "kills+hours"
+		if hourOnly {
+			name = "hours-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				a := core.NewAdaptive()
+				a.ReDecideOnHourOnly = hourOnly
+				res, err := sim.Run(ablationConfig(market.FixedDelay(300)), a)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Cost
+			}
+			b.ReportMetric(cost, "cost-$")
+		})
+	}
+}
+
+// BenchmarkAblationBidChooser compares the analytic bid chooser
+// (internal/opt: stationary-chain expected cost, an extension beyond the
+// paper) against the paper's simulation-based Adaptive search on the
+// same window, single zone.
+func BenchmarkAblationBidChooser(b *testing.B) {
+	set := tracegen.HighVolatility(33)
+	start := set.Start() + 5*24*trace.Hour
+	histPrices := markov.Quantize(set.Series[0].Slice(start-2*24*trace.Hour, start).Prices, 0.05)
+	chain, err := markov.Fit(histPrices, trace.DefaultStep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ablationConfig(market.FixedDelay(300))
+	requiredRate := float64(cfg.Work) / float64(cfg.Deadline)
+
+	b.Run("analytic", func(b *testing.B) {
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			rec, err := opt.BestBid(chain, core.BidGrid(), opt.Overheads{
+				CheckpointCost: float64(cfg.CheckpointCost),
+				RestartCost:    float64(cfg.RestartCost),
+				QueueDelay:     300,
+			}, requiredRate)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(cfg, core.SingleZone(core.NewMarkovDaly(), rec.Bid, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = res.Cost
+		}
+		b.ReportMetric(cost, "cost-$")
+	})
+	b.Run("simulated", func(b *testing.B) {
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			a := core.NewAdaptive()
+			a.MaxZones = 1
+			res, err := sim.Run(cfg, a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = res.Cost
+		}
+		b.ReportMetric(cost, "cost-$")
+	})
+	b.Run("adaptive-analytic", func(b *testing.B) {
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			a := core.NewAdaptive()
+			a.Analytic = true
+			res, err := sim.Run(cfg, a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = res.Cost
+		}
+		b.ReportMetric(cost, "cost-$")
+	})
+}
+
+// BenchmarkAblationEdgeFamily compares the paper's reactive policies —
+// Edge and Threshold — against the repository's CUSUM-based Changepoint
+// extension on a volatile window.
+func BenchmarkAblationEdgeFamily(b *testing.B) {
+	for _, kind := range []string{"edge", "threshold", "changepoint"} {
+		b.Run(kind, func(b *testing.B) {
+			var cost float64
+			var ckpts int
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(ablationConfig(market.FixedDelay(300)), core.SingleZone(experiment.NewPolicy(kind), 0.81, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Cost
+				ckpts = res.Checkpoints
+			}
+			b.ReportMetric(cost, "cost-$")
+			b.ReportMetric(float64(ckpts), "checkpoints")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the substrates
+// ---------------------------------------------------------------------------
+
+// BenchmarkEngineRun times one full-scale single-zone simulation.
+func BenchmarkEngineRun(b *testing.B) {
+	cfg := ablationConfig(market.FixedDelay(300))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, core.SingleZone(core.NewPeriodic(), 0.81, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarkovUptime times the closed-form expected-uptime solve on
+// a two-day volatile history.
+func BenchmarkMarkovUptime(b *testing.B) {
+	set := tracegen.HighVolatility(3)
+	hist := markov.Quantize(set.Series[0].Slice(0, 2*24*trace.Hour).Prices, 0.05)
+	m, err := markov.Fit(hist, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur := hist[len(hist)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ExpectedUptimeExact(0.81, cur)
+	}
+}
+
+// BenchmarkTraceGeneration times generating one month of three-zone
+// high-volatility trace.
+func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tracegen.HighVolatility(uint64(i))
+	}
+}

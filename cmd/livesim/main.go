@@ -1,0 +1,153 @@
+// Command livesim runs the live scheduler against a replayed price
+// feed in compressed wall-clock time, printing every scheduling action
+// as it is issued. With -serve it also spins up a local HTTP endpoint
+// in the AWS DescribeSpotPriceHistory format, fetches the history back
+// through the spotapi client, and replays that — exercising the full
+// deployment path without touching a cloud.
+//
+// Usage:
+//
+//	livesim -preset high -policy adaptive -speedup 6000
+//	livesim -serve -preset low -policy markov-daly
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/livesched"
+	"repro/internal/market"
+	"repro/internal/sim"
+	"repro/internal/spotapi"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("livesim: ")
+
+	preset := flag.String("preset", "high", "trace preset: low, high, low-spike")
+	seed := flag.Uint64("seed", 1, "trace and run seed")
+	policy := flag.String("policy", "adaptive", "policy: periodic, markov-daly, edge, threshold, adaptive")
+	bid := flag.Float64("bid", 0.81, "bid price for non-adaptive policies")
+	n := flag.Int("n", 3, "redundancy degree for non-adaptive policies")
+	workHours := flag.Float64("work", 20, "computation time C in hours")
+	slack := flag.Float64("slack", 0.15, "slack fraction")
+	speedup := flag.Float64("speedup", 0, "wall-clock compression (0 = as fast as possible; 6000 replays 5-minute steps at 50 ms)")
+	serve := flag.Bool("serve", false, "serve the history over HTTP (AWS format) and consume it through the spotapi client")
+	flag.Parse()
+
+	set, err := buildSet(*preset, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := set.Start() + 5*24*trace.Hour
+	work := int64(*workHours * float64(trace.Hour))
+	deadline := int64(float64(work)*(1+*slack)) / trace.DefaultStep * trace.DefaultStep
+
+	history := rebase(set.Slice(start-2*24*trace.Hour, start), start)
+	run := rebase(set.Slice(start, start+deadline+2*trace.Hour), start)
+
+	if *serve {
+		epoch := time.Now().UTC().Truncate(time.Second)
+		srv := httptest.NewServer(spotapi.Handler(run, epoch))
+		defer srv.Close()
+		fmt.Printf("serving AWS-format history at %s/spot-price-history\n", srv.URL)
+		client := &spotapi.Client{BaseURL: srv.URL, HTTPClient: &http.Client{Timeout: 30 * time.Second}}
+		fetched, _, err := client.Fetch(context.Background(), time.Time{}, time.Time{}, trace.DefaultStep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fetched %d zones × %d samples through the spotapi client\n\n", fetched.NumZones(), fetched.Series[0].Len())
+		run = fetched
+	}
+
+	strat, err := buildStrategy(*policy, *bid, *n, run.NumZones())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var interval time.Duration
+	if *speedup > 0 {
+		interval = time.Duration(float64(trace.DefaultStep) / *speedup * float64(time.Second))
+	}
+	sched, err := livesched.New(livesched.Config{
+		Work:           work,
+		Deadline:       deadline,
+		CheckpointCost: 300,
+		RestartCost:    300,
+		History:        history,
+		Delay:          market.DefaultDelay(),
+		Seed:           *seed,
+	}, strat, &livesched.TraceFeed{Set: run, Interval: interval}, livesched.LogActuator{W: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sched.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompleted: cost $%.2f (spot $%.2f + on-demand $%.2f), finish %.2f h, deadline met: %v\n",
+		res.Cost, res.SpotCost, res.OnDemandCost, float64(res.FinishTime)/float64(trace.Hour), res.DeadlineMet)
+}
+
+// rebase clones a slice of a trace so its epoch is relative to start.
+func rebase(set *trace.Set, start int64) *trace.Set {
+	out := set.Clone()
+	for _, s := range out.Series {
+		s.Epoch -= start
+	}
+	return out
+}
+
+func buildSet(preset string, seed uint64) (*trace.Set, error) {
+	switch preset {
+	case "low":
+		return tracegen.LowVolatility(seed), nil
+	case "high":
+		return tracegen.HighVolatility(seed), nil
+	case "low-spike":
+		return tracegen.LowVolatilityWithMegaSpike(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+}
+
+func buildStrategy(policy string, bid float64, n, zones int) (sim.Strategy, error) {
+	if policy == "adaptive" {
+		return core.NewAdaptive(), nil
+	}
+	if n < 1 || n > zones {
+		return nil, fmt.Errorf("n must be in 1..%d", zones)
+	}
+	zoneIdx := make([]int, n)
+	for i := range zoneIdx {
+		zoneIdx[i] = i
+	}
+	var p sim.CheckpointPolicy
+	switch policy {
+	case "periodic":
+		p = core.NewPeriodic()
+	case "markov-daly":
+		p = core.NewMarkovDaly()
+	case "edge":
+		p = core.NewEdge()
+	case "threshold":
+		p = core.NewThreshold()
+	default:
+		return nil, fmt.Errorf("unknown policy %q", policy)
+	}
+	if n == 1 {
+		return core.SingleZone(p, bid, 0), nil
+	}
+	return core.Redundant(p, bid, zoneIdx), nil
+}

@@ -1,0 +1,77 @@
+// Command pricefeedd serves a synthetic spot price history over HTTP in
+// the AWS DescribeSpotPriceHistory document format, for driving the
+// live scheduler (cmd/livesim) or any spotapi.Client consumer without
+// cloud access. It shuts down gracefully on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	pricefeedd -addr :8080 -preset high -seed 7
+//	curl 'http://localhost:8080/spot-price-history?start=2013-03-01T00:00:00Z'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/spotapi"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pricefeedd: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	preset := flag.String("preset", "high", "trace preset: low, high, low-spike, year")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	epochStr := flag.String("epoch", "2013-03-01T00:00:00Z", "wall-clock time of the first sample (RFC 3339)")
+	flag.Parse()
+
+	var set *trace.Set
+	switch *preset {
+	case "low":
+		set = tracegen.LowVolatility(*seed)
+	case "high":
+		set = tracegen.HighVolatility(*seed)
+	case "low-spike":
+		set = tracegen.LowVolatilityWithMegaSpike(*seed)
+	case "year":
+		set = tracegen.Year(*seed)
+	default:
+		log.Fatalf("unknown preset %q", *preset)
+	}
+	epoch, err := time.Parse(time.RFC3339, *epochStr)
+	if err != nil {
+		log.Fatalf("bad -epoch: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           spotapi.Handler(set, epoch),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving %s preset (%d zones × %d samples) at http://%s/spot-price-history",
+		*preset, set.NumZones(), set.Series[0].Len(), *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

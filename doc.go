@@ -1,0 +1,22 @@
+// Package repro reproduces "Exploiting Redundancy for Cost-Effective,
+// Time-Constrained Execution of HPC Applications on Amazon EC2"
+// (Marathe et al., HPDC'14) as a Go library.
+//
+// The implementation lives under internal/:
+//
+//   - internal/trace, internal/tracegen — spot price histories and the
+//     calibrated synthetic market generator;
+//   - internal/market — EC2 billing rules and queuing-delay model;
+//   - internal/sim — the Algorithm 1 simulation engine with the
+//     deadline guard;
+//   - internal/core — the checkpoint policies (Periodic, Markov-Daly,
+//     Rising Edge, Threshold, Large-bid) and the Adaptive strategy;
+//   - internal/markov, internal/daly, internal/vecar, internal/mat —
+//     the prediction substrates;
+//   - internal/experiment, internal/report, internal/stats — the
+//     evaluation harness that regenerates every table and figure.
+//
+// Entry points: the binaries under cmd/ (paperfigs, spotsim, tracegen,
+// sweep), the runnable examples under examples/, and the benchmark
+// harness in bench_test.go.
+package repro

@@ -1,0 +1,81 @@
+package repro_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedSymbolsAreDocumented enforces the repository's
+// documentation bar: every exported type, function, method, constant
+// and variable in non-test files carries a doc comment. It walks the
+// source with go/parser so the bar holds as the code grows.
+func TestExportedSymbolsAreDocumented(t *testing.T) {
+	var violations []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range file.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Name.IsExported() && dd.Doc == nil {
+					violations = append(violations, loc(fset, dd.Pos(), "func "+dd.Name.Name))
+				}
+			case *ast.GenDecl:
+				// A doc comment on the grouped declaration covers its
+				// specs (the common Go style for const/var blocks).
+				if dd.Doc != nil {
+					continue
+				}
+				for _, spec := range dd.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && sp.Doc == nil && sp.Comment == nil {
+							violations = append(violations, loc(fset, sp.Pos(), "type "+sp.Name.Name))
+						}
+					case *ast.ValueSpec:
+						for _, n := range sp.Names {
+							if n.IsExported() && sp.Doc == nil && sp.Comment == nil {
+								violations = append(violations, loc(fset, sp.Pos(), "value "+n.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Fatalf("%d exported symbols lack doc comments:\n  %s",
+			len(violations), strings.Join(violations, "\n  "))
+	}
+}
+
+func loc(fset *token.FileSet, pos token.Pos, what string) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what)
+}

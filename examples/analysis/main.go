@@ -1,0 +1,73 @@
+// Analysis: the run-once/re-analyse-many workflow. A parameter sweep is
+// executed once and archived as JSON (internal/replay); the archive is
+// then reloaded and interrogated — boxplots per configuration and a
+// Mann-Whitney significance test of the redundancy advantage — without
+// re-running a single simulation.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Phase 1: run a small sweep and archive it, as `sweep -format
+	// json` would.
+	s := experiment.NewQuickSuite(1, 10)
+	archive := &replay.Archive{Meta: map[string]string{"regime": "high", "slack": "15%"}}
+	const slack, tc, bid = 0.15, 300, 0.81
+	for _, n := range []int{1, 3} {
+		zones := make([]int, n)
+		for i := range zones {
+			zones[i] = i
+		}
+		for _, w := range s.ExperimentWindows(experiment.RegimeHigh, slack) {
+			strat := core.NewStatic("markov-daly", sim.RunSpec{
+				Bid: bid, Zones: zones, Policy: core.NewMarkovDaly(),
+			})
+			res, err := sim.Run(s.Config(w, slack, tc), strat)
+			if err != nil {
+				log.Fatal(err)
+			}
+			archive.Add(replay.FromResult(res, experiment.RegimeHigh, slack, tc, bid, n, w.Index))
+		}
+	}
+
+	// The archive round-trips through its serialised form.
+	var buf bytes.Buffer
+	if err := archive.Write(&buf); err != nil {
+		log.Fatal(err)
+	}
+	archivedBytes := buf.Len()
+	loaded, err := replay.Read(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archived %d runs (%d bytes of JSON)\n\n", len(loaded.Records), archivedBytes)
+
+	// Phase 2: analyse without re-simulating.
+	single := loaded.Costs(func(r replay.Record) bool { return r.N == 1 })
+	redundant := loaded.Costs(func(r replay.Record) bool { return r.N == 3 })
+	bs, br := stats.NewBox(single), stats.NewBox(redundant)
+	fmt.Printf("single zone (N=1):  median $%.2f  [%.2f .. %.2f]\n", bs.Median, bs.Min, bs.Max)
+	fmt.Printf("redundant  (N=3):   median $%.2f  [%.2f .. %.2f]\n", br.Median, br.Min, br.Max)
+
+	mw := stats.MannWhitney(redundant, single)
+	fmt.Printf("\nMann-Whitney: P(redundant > single) = %.2f, p-value = %.4f\n", mw.EffectSize, mw.P)
+	if mw.P < 0.05 && mw.EffectSize < 0.5 {
+		fmt.Println("→ the redundancy advantage on this volatile market is statistically significant")
+	} else {
+		fmt.Println("→ no significant difference on this sample")
+	}
+	met, missed := loaded.Deadlines(func(replay.Record) bool { return true })
+	fmt.Printf("deadlines: %d met, %d missed (the guard guarantees 0 misses)\n", met, missed)
+}

@@ -1,0 +1,121 @@
+package app
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogProfilesLandInPaperBand(t *testing.T) {
+	io := DefaultIOServer()
+	for _, p := range Catalog() {
+		tc, tr, err := Costs(p, io)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		// The paper assumes checkpoint/restart overheads of 300-900 s
+		// for real applications; allow the small NAS benchmarks down to
+		// the ~130 s scale it cites for small problem sizes.
+		if tc < 100 || tc > 900 {
+			t.Errorf("%s: t_c = %d s outside the paper's band", p.Name, tc)
+		}
+		if tr <= 0 || tr > 900 {
+			t.Errorf("%s: t_r = %d s outside the paper's band", p.Name, tr)
+		}
+	}
+}
+
+func TestAtLeastOneLargeProfile(t *testing.T) {
+	io := DefaultIOServer()
+	large := 0
+	for _, p := range Catalog() {
+		tc, _, err := Costs(p, io)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc >= 600 {
+			large++
+		}
+	}
+	if large == 0 {
+		t.Fatal("no catalog profile reaches the paper's high checkpoint-cost regime")
+	}
+}
+
+func TestCostsMonotoneInStateSize(t *testing.T) {
+	io := DefaultIOServer()
+	f := func(tasks uint8, stateMB uint16) bool {
+		p := Profile{Name: "x", Tasks: 1 + int(tasks%64), StatePerTaskMB: float64(stateMB), IterationSeconds: 10}
+		bigger := p
+		bigger.StatePerTaskMB += 100
+		tc1, tr1, err1 := Costs(p, io)
+		tc2, tr2, err2 := Costs(bigger, io)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return tc2 >= tc1 && tr2 >= tr1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartUsesReadBandwidth(t *testing.T) {
+	p := Profile{Name: "x", Tasks: 100, StatePerTaskMB: 1000, IterationSeconds: 10}
+	io := IOServer{WriteBandwidthMBps: 100, ReadBandwidthMBps: 400, CoordinationSeconds: 0}
+	tc, tr, err := Costs(p, io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc != 1000 || tr != 250 {
+		t.Fatalf("tc=%d tr=%d, want 1000/250", tc, tr)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := Profile{Name: "x", Tasks: 4, StatePerTaskMB: 10, IterationSeconds: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Profile{
+		{Name: "a", Tasks: 0, StatePerTaskMB: 10, IterationSeconds: 1},
+		{Name: "b", Tasks: 4, StatePerTaskMB: -1, IterationSeconds: 1},
+		{Name: "c", Tasks: 4, StatePerTaskMB: 10, IterationSeconds: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %q accepted", p.Name)
+		}
+	}
+	badIO := []IOServer{
+		{WriteBandwidthMBps: 0, ReadBandwidthMBps: 1},
+		{WriteBandwidthMBps: 1, ReadBandwidthMBps: 0},
+		{WriteBandwidthMBps: 1, ReadBandwidthMBps: 1, CoordinationSeconds: -1},
+	}
+	for i, io := range badIO {
+		if err := io.Validate(); err == nil {
+			t.Errorf("io server %d accepted", i)
+		}
+	}
+	if _, _, err := Costs(bad[0], DefaultIOServer()); err == nil {
+		t.Error("Costs accepted a bad profile")
+	}
+	if _, _, err := Costs(good, badIO[0]); err == nil {
+		t.Error("Costs accepted a bad io server")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("nas-ft-d-128"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup accepted an unknown profile")
+	}
+}
+
+func TestCheckpointMB(t *testing.T) {
+	p := Profile{Name: "x", Tasks: 10, StatePerTaskMB: 5, IterationSeconds: 1}
+	if got := p.CheckpointMB(); got != 50 {
+		t.Fatalf("CheckpointMB = %g", got)
+	}
+}

@@ -1,0 +1,93 @@
+package changepoint
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestDetectsUpShift(t *testing.T) {
+	d, err := New(0.30, 0.02, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise around the target: no detection.
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 200; i++ {
+		if got := d.Observe(0.30 + 0.01*rng.NormFloat64()); got != None {
+			t.Fatalf("false positive at %d: %v", i, got)
+		}
+	}
+	// A sustained +0.15 shift: detected within a few samples.
+	detected := -1
+	for i := 0; i < 20; i++ {
+		if d.Observe(0.45) == Up {
+			detected = i
+			break
+		}
+	}
+	if detected < 0 {
+		t.Fatal("up shift never detected")
+	}
+	if detected > 5 {
+		t.Fatalf("detection took %d samples", detected)
+	}
+	// After recentring, the new level is quiet.
+	for i := 0; i < 50; i++ {
+		if d.Observe(0.45) != None {
+			t.Fatal("re-detected the same level")
+		}
+	}
+}
+
+func TestDetectsDownShift(t *testing.T) {
+	d, _ := New(0.50, 0.02, 0.10)
+	got := None
+	for i := 0; i < 20 && got == None; i++ {
+		got = d.Observe(0.30)
+	}
+	if got != DownShift {
+		t.Fatalf("direction = %v", got)
+	}
+	if d.Target != 0.30 {
+		t.Fatalf("recentre target = %g", d.Target)
+	}
+}
+
+func TestSingleTickDoesNotTrigger(t *testing.T) {
+	// The failure mode of the Edge policy: one price tick up then back.
+	d, _ := New(0.30, 0.02, 0.10)
+	if d.Observe(0.35) != None {
+		t.Fatal("single tick triggered")
+	}
+	for i := 0; i < 100; i++ {
+		if d.Observe(0.30) != None {
+			t.Fatal("return to target triggered")
+		}
+	}
+}
+
+func TestPressure(t *testing.T) {
+	d, _ := New(0.30, 0.0, 0.10)
+	if d.Pressure() != 0 {
+		t.Fatal("initial pressure nonzero")
+	}
+	d.Observe(0.35)
+	if p := d.Pressure(); p <= 0.4 || p >= 0.6 {
+		t.Fatalf("pressure = %g, want ≈ 0.5", p)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0.3, -1, 0.1); err == nil {
+		t.Fatal("accepted negative drift")
+	}
+	if _, err := New(0.3, 0.01, 0); err == nil {
+		t.Fatal("accepted zero threshold")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if None.String() != "none" || Up.String() != "up" || DownShift.String() != "down" || Direction(9).String() != "unknown" {
+		t.Fatal("Direction.String mismatch")
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/market"
+	"repro/internal/markov"
+	"repro/internal/opt"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// PolicyFactory builds a fresh checkpoint policy instance. Adaptive
+// candidates need fresh instances because policies hold run state.
+type PolicyFactory struct {
+	// Kind names the policy family ("periodic", "markov-daly").
+	Kind string
+	// New constructs an instance.
+	New func() sim.CheckpointPolicy
+}
+
+// DefaultAdaptiveCandidates returns the policy families the Adaptive
+// scheme chooses among. Edge and Threshold are excluded, as the paper
+// drops them after §6 for their high recovery costs; Large-bid is
+// excluded because it has no cost bound (§7.2.2).
+func DefaultAdaptiveCandidates() []PolicyFactory {
+	return []PolicyFactory{
+		{Kind: "periodic", New: func() sim.CheckpointPolicy { return NewPeriodic() }},
+		{Kind: "markov-daly", New: func() sim.CheckpointPolicy { return NewMarkovDaly() }},
+	}
+}
+
+// Adaptive is the paper's §7 scheme: at each decision point (a zone
+// terminated out-of-bid, or a billing hour ended) it simulates every
+// permutation of bid price B, zone count N and candidate policy against
+// recent price history, predicts each permutation's remaining cost via
+// Inequality (1) — splitting the remaining time between the spot market
+// at the observed progress rate and an on-demand tail — and switches to
+// the least-cost permutation. The engine's deadline guard independently
+// preserves the completion-time guarantee.
+type Adaptive struct {
+	// Bids is the candidate bid grid; nil selects the paper's grid
+	// ($0.27–$3.07 step $0.20).
+	Bids []float64
+	// MaxZones bounds the redundancy degree N; 0 selects 3.
+	MaxZones int
+	// Candidates are the policy families; nil selects the defaults.
+	Candidates []PolicyFactory
+	// EstimationWindow is how much trailing history each permutation is
+	// simulated over; 0 selects 12 hours.
+	EstimationWindow int64
+	// ReDecideOnHourOnly restricts decisions to hour boundaries,
+	// ignoring kills; used by the decision-trigger ablation.
+	ReDecideOnHourOnly bool
+	// Analytic replaces the per-permutation engine replays with the
+	// closed-form chain model of internal/opt (an extension beyond the
+	// paper): availability, expected paid rate and cycle efficiency per
+	// bid from the stationary chain, with redundancy approximated as
+	// the union of per-zone effective rates. Roughly an order of
+	// magnitude faster per decision; the candidate policy is always
+	// Markov-Daly, whose assumptions the analytic model shares.
+	Analytic bool
+
+	chosen sim.RunSpec
+}
+
+// NewAdaptive returns the Adaptive strategy with the paper's settings.
+func NewAdaptive() *Adaptive { return &Adaptive{} }
+
+// Name implements sim.Strategy.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// Begin implements sim.Strategy: bootstrap from the price history
+// preceding the experiment (the paper primes with 2 days) and pick the
+// initial permutation.
+func (a *Adaptive) Begin(env *sim.Env) sim.RunSpec {
+	a.chosen = a.pick(env)
+	return a.chosen
+}
+
+// Reconsider implements sim.Strategy.
+func (a *Adaptive) Reconsider(env *sim.Env, events []sim.Event) (sim.RunSpec, bool) {
+	if a.ReDecideOnHourOnly {
+		hour := false
+		for _, ev := range events {
+			if ev.Kind == sim.HourBoundary {
+				hour = true
+				break
+			}
+		}
+		if !hour {
+			return sim.RunSpec{}, false
+		}
+	}
+	spec := a.pick(env)
+	if spec.Equal(a.chosen) {
+		return sim.RunSpec{}, false
+	}
+	a.chosen = spec
+	return spec, true
+}
+
+func (a *Adaptive) bids() []float64 {
+	if a.Bids != nil {
+		return a.Bids
+	}
+	return BidGrid()
+}
+
+func (a *Adaptive) maxZones(env *sim.Env) int {
+	n := a.MaxZones
+	if n <= 0 {
+		n = 3
+	}
+	if total := len(env.Zones); n > total {
+		n = total
+	}
+	return n
+}
+
+func (a *Adaptive) candidates() []PolicyFactory {
+	if a.Candidates != nil {
+		return a.Candidates
+	}
+	return DefaultAdaptiveCandidates()
+}
+
+func (a *Adaptive) window() int64 {
+	if a.EstimationWindow > 0 {
+		return a.EstimationWindow
+	}
+	return 12 * trace.Hour
+}
+
+// zonesByPrice returns all zone indices ordered by current price,
+// cheapest first (ties by index for determinism).
+func zonesByPrice(env *sim.Env) []int {
+	idx := make([]int, len(env.Zones))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		px, py := env.PriceNow(idx[x]), env.PriceNow(idx[y])
+		if px != py {
+			return px < py
+		}
+		return idx[x] < idx[y]
+	})
+	return idx
+}
+
+// historySet reconstructs a trace.Set of the trailing span seconds of
+// price history visible at env.Now, for estimation replays.
+func historySet(env *sim.Env, span int64) *trace.Set {
+	series := make([]*trace.Series, len(env.Zones))
+	var n int
+	for zi := range env.Zones {
+		prices := env.PriceHistory(zi, span)
+		n = len(prices)
+		epoch := env.Now - int64(len(prices)-1)*env.Step
+		series[zi] = &trace.Series{
+			Zone:   env.Cfg.Trace.Series[zi].Zone,
+			Epoch:  epoch,
+			Step:   env.Step,
+			Prices: prices,
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	return trace.MustNewSet(series...)
+}
+
+// estimate holds a permutation's measured behaviour over the history
+// window.
+type estimate struct {
+	progressRate float64 // work seconds per wall second
+	costRate     float64 // dollars per wall second
+}
+
+// measure replays the permutation over the history window with the real
+// engine (deadline guard disabled, effectively unbounded work) and
+// extracts its progress and cost rates.
+func measure(hist *trace.Set, spec sim.RunSpec, tc, tr int64) estimate {
+	const huge = int64(1) << 40
+	cfg := sim.Config{
+		Trace:                hist,
+		Work:                 huge,
+		Deadline:             huge,
+		CheckpointCost:       tc,
+		RestartCost:          tr,
+		Delay:                market.FixedDelay(300),
+		Seed:                 7,
+		DisableDeadlineGuard: true,
+	}
+	res, err := sim.Run(cfg, NewStatic("estimate", spec))
+	if err != nil {
+		return estimate{}
+	}
+	span := float64(hist.Duration())
+	if span <= 0 {
+		return estimate{}
+	}
+	return estimate{
+		progressRate: float64(res.MaxProgress) / span,
+		costRate:     res.Cost / span,
+	}
+}
+
+// predictCost applies Inequality (1): given the permutation's rates,
+// the remaining work C_r and the remaining time T_r (less migration
+// overhead), split the schedule between spot and an on-demand tail and
+// return the predicted remaining cost.
+func predictCost(e estimate, cr, tr int64, migration int64) float64 {
+	if cr <= 0 {
+		return 0
+	}
+	avail := float64(tr - migration)
+	work := float64(cr)
+	if avail <= 0 {
+		// Only on-demand can finish now.
+		return onDemandCost(work)
+	}
+	rate := e.progressRate
+	if rate > 1 {
+		rate = 1 // cannot progress faster than wall clock
+	}
+	if rate > 0 && rate*avail >= work {
+		// Pure spot execution at the observed rate.
+		return e.costRate * (work / rate)
+	}
+	if rate >= 1-1e-9 {
+		// Spot is full speed but time is short: the tail is on-demand
+		// either way; price the whole remainder on-demand as a floor.
+		return onDemandCost(work)
+	}
+	// Spend t_s on spot, then finish on-demand:
+	// t_s + (work − rate·t_s) = avail  ⇒  t_s = (avail − work)/(1 − rate).
+	ts := (avail - work) / (1 - rate)
+	if ts < 0 {
+		ts = 0
+	}
+	odWork := work - rate*ts
+	mixed := e.costRate*ts + onDemandCost(odWork)
+	// Switching to on-demand immediately is always available; a mixed
+	// schedule that costs more than that is never chosen.
+	return math.Min(mixed, onDemandCost(work))
+}
+
+// onDemandCost prices work seconds of on-demand compute.
+func onDemandCost(work float64) float64 {
+	hours := math.Ceil(work / float64(trace.Hour))
+	return hours * market.OnDemandRate
+}
+
+// candidate is one scored (bid, N, policy) permutation.
+type candidate struct {
+	spec sim.RunSpec
+	kind string
+	n    int
+	cost float64
+}
+
+// analyticCandidates scores permutations with the closed-form chain
+// model instead of engine replays. Per zone it fits one chain on the
+// trailing history and analyses each bid; redundancy combines zones as
+// a union of effective rates (optimistic for correlated zones, which
+// the generator keeps weak) and sums their cost rates.
+func (a *Adaptive) analyticCandidates(env *sim.Env, ordered []int, cr, tr, migration int64) []candidate {
+	ov := opt.Overheads{
+		CheckpointCost: float64(env.CheckpointCost()),
+		RestartCost:    float64(env.RestartCost()),
+		QueueDelay:     300,
+	}
+	span := markov.DefaultHistory
+	chains := make(map[int]*markov.Model, len(env.Zones))
+	for zi := range env.Zones {
+		hist := markov.Quantize(env.PriceHistory(zi, span), 0.05)
+		if m, err := markov.Fit(hist, env.Step); err == nil {
+			chains[zi] = m
+		}
+	}
+	var out []candidate
+	for n := 1; n <= a.maxZones(env); n++ {
+		zones := append([]int(nil), ordered[:n]...)
+		sort.Ints(zones)
+		for _, bid := range a.bids() {
+			var costRate float64 // $/s across all paid zones
+			missRate := 1.0      // Π(1 − effRate_z)
+			for _, zi := range zones {
+				m, ok := chains[zi]
+				if !ok {
+					continue
+				}
+				an := opt.Analyze(m, bid, ov)
+				costRate += an.Availability * an.MeanPaidPrice / float64(trace.Hour)
+				missRate *= 1 - an.EffectiveRate
+			}
+			est := estimate{progressRate: 1 - missRate, costRate: costRate}
+			out = append(out, candidate{
+				spec: sim.RunSpec{Bid: bid, Zones: zones, Policy: NewMarkovDaly()},
+				kind: "markov-daly",
+				n:    n,
+				cost: predictCost(est, cr, tr, migration),
+			})
+		}
+	}
+	return out
+}
+
+// pick evaluates every permutation and returns the least-predicted-cost
+// spec.
+func (a *Adaptive) pick(env *sim.Env) sim.RunSpec {
+	hist := historySet(env, a.window())
+	ordered := zonesByPrice(env)
+	cr := env.RemainingWork()
+	tr := env.RemainingTime()
+	migration := env.CheckpointCost() + env.RestartCost() + env.Step
+
+	var cands []candidate
+	if a.Analytic {
+		cands = a.analyticCandidates(env, ordered, cr, tr, migration)
+	} else {
+		for _, fac := range a.candidates() {
+			for n := 1; n <= a.maxZones(env); n++ {
+				zones := append([]int(nil), ordered[:n]...)
+				sort.Ints(zones)
+				for _, bid := range a.bids() {
+					spec := sim.RunSpec{Bid: bid, Zones: zones, Policy: fac.New()}
+					var est estimate
+					if hist != nil {
+						est = measure(hist, sim.RunSpec{Bid: bid, Zones: zones, Policy: fac.New()}, env.CheckpointCost(), env.RestartCost())
+					}
+					cands = append(cands, candidate{spec: spec, kind: fac.Kind, n: n, cost: predictCost(est, cr, tr, migration)})
+				}
+			}
+		}
+	}
+	var best *candidate
+	minCost := math.Inf(1)
+	for i := range cands {
+		if cands[i].cost < minCost {
+			minCost = cands[i].cost
+		}
+	}
+	// Among candidates within a few percent of the least predicted
+	// cost, prefer bid headroom (short estimation replays under-sample
+	// terminations, so near-equal low bids are riskier than they look)
+	// and then fewer zones.
+	for i := range cands {
+		c := &cands[i]
+		if c.cost > minCost*1.03+1e-9 {
+			continue
+		}
+		if best == nil ||
+			c.spec.Bid > best.spec.Bid ||
+			(c.spec.Bid == best.spec.Bid && c.n < best.n) {
+			best = c
+		}
+	}
+	if best == nil {
+		// No history at all: fall back to single-zone Periodic at the
+		// median bid.
+		bids := a.bids()
+		return sim.RunSpec{Bid: bids[len(bids)/2], Zones: []int{ordered[0]}, Policy: NewPeriodic()}
+	}
+	// Keep the current configuration when it predicts within a hair of
+	// the best, avoiding churn from estimation noise.
+	if len(a.chosen.Zones) > 0 && !best.spec.Equal(a.chosen) {
+		cur := a.evalSpec(env, hist, a.chosen, cr, tr, migration)
+		if cur <= best.cost*1.02 {
+			return a.chosen
+		}
+	}
+	return best.spec
+}
+
+// evalSpec predicts the remaining cost of an existing spec (re-using
+// its policy kind with a fresh instance).
+func (a *Adaptive) evalSpec(env *sim.Env, hist *trace.Set, spec sim.RunSpec, cr, tr, migration int64) float64 {
+	if hist == nil {
+		return math.Inf(1)
+	}
+	fresh := sim.RunSpec{Bid: spec.Bid, Zones: spec.Zones, Policy: clonePolicy(spec.Policy)}
+	est := measure(hist, fresh, env.CheckpointCost(), env.RestartCost())
+	return predictCost(est, cr, tr, migration)
+}
+
+// clonePolicy builds a fresh instance of a known policy family.
+func clonePolicy(p sim.CheckpointPolicy) sim.CheckpointPolicy {
+	switch p.(type) {
+	case *Periodic:
+		return NewPeriodic()
+	case *MarkovDaly:
+		return NewMarkovDaly()
+	case *Edge:
+		return NewEdge()
+	case *Threshold:
+		return NewThreshold()
+	default:
+		return NewPeriodic()
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func TestAdaptiveCustomKnobs(t *testing.T) {
+	hist, run := window(tracegen.LowVolatility(47), 5, 2)
+	cfg := testConfig(hist, run, 300)
+	a := NewAdaptive()
+	a.Bids = []float64{0.47, 0.87}
+	a.MaxZones = 2
+	a.EstimationWindow = 6 * trace.Hour
+	a.Candidates = []PolicyFactory{
+		{Kind: "periodic", New: func() sim.CheckpointPolicy { return NewPeriodic() }},
+	}
+	res, err := sim.Run(cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || !res.DeadlineMet {
+		t.Fatalf("custom adaptive failed: %+v", res)
+	}
+	if a.chosen.Bid != 0.47 && a.chosen.Bid != 0.87 {
+		t.Fatalf("chosen bid %g outside the custom grid", a.chosen.Bid)
+	}
+	if len(a.chosen.Zones) > 2 {
+		t.Fatalf("chosen N=%d above MaxZones", len(a.chosen.Zones))
+	}
+	if a.chosen.Policy.Name() != "periodic" {
+		t.Fatalf("chosen policy %q outside the custom candidates", a.chosen.Policy.Name())
+	}
+}
+
+func TestAdaptiveRetainsNearOptimalCurrentSpec(t *testing.T) {
+	// In a calm market every bid above the floor predicts nearly the
+	// same cost, so once chosen, the configuration should persist: no
+	// churn (switches) across the run.
+	hist, run := window(tracegen.LowVolatility(53), 6, 2)
+	cfg := testConfig(hist, run, 300)
+	res, err := sim.Run(cfg, NewAdaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecSwitches > 2 {
+		t.Fatalf("adaptive churned %d switches in a calm market", res.SpecSwitches)
+	}
+}
+
+func TestAnalyticCandidatesShape(t *testing.T) {
+	hist, run := window(tracegen.HighVolatility(59), 5, 1)
+	cfg := testConfig(hist, run, 300)
+	a := NewAdaptive()
+	a.Analytic = true
+	a.Bids = []float64{0.47, 2.47}
+	probe := probeStrategy{func(env *sim.Env) {
+		cands := a.analyticCandidates(env, zonesByPrice(env), env.RemainingWork(), env.RemainingTime(), 900)
+		if len(cands) != 2*3 { // bids × N
+			t.Fatalf("candidates = %d, want 6", len(cands))
+		}
+		for _, c := range cands {
+			if c.cost < 0 {
+				t.Fatalf("negative predicted cost: %+v", c)
+			}
+			if c.kind != "markov-daly" {
+				t.Fatalf("analytic candidate policy %q", c.kind)
+			}
+		}
+	}}
+	if _, err := sim.Run(cfg, probe); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+// Bid grid constants from §5 of the paper.
+
+// MinBid and MaxBid bound the bid grid: "$0.27 to $3.07 in steps of
+// $0.20"; bids above $2.40 exist to ride out occasional spikes of up to
+// $3.00.
+const (
+	MinBid  = 0.27
+	MaxBid  = 3.07
+	BidStep = 0.20
+)
+
+// LargeBidAmount is the effectively-unbeatable bid of the Large-bid
+// policy (the paper suggests $100; the largest price it ever observed
+// was $20.02).
+const LargeBidAmount = 100.0
+
+// BidGrid returns the paper's bid grid.
+func BidGrid() []float64 {
+	var out []float64
+	// Iterate in integer cents to avoid float accumulation drift.
+	const minC, maxC, stepC = 27, 307, 20
+	for c := minC; c <= maxC; c += stepC {
+		out = append(out, float64(c)/100)
+	}
+	return out
+}
+
+// Figure4Bids are the bid prices highlighted in the paper's Figure 4.
+func Figure4Bids() []float64 { return []float64{0.27, 0.81, 2.40} }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/changepoint"
+	"repro/internal/sim"
+)
+
+// Changepoint is an extension of the paper's Edge family (§4.3–4.4):
+// instead of checkpointing on every upward price tick, it runs a
+// two-sided CUSUM detector per active zone and checkpoints only when a
+// zone's price shows a *sustained* upward shift. This keeps Edge's
+// virtue — checkpointing just before out-of-bid terminations, which
+// price regimes usually precede — while shedding its documented flaw of
+// burning checkpoints on noise.
+type Changepoint struct {
+	// Drift is the per-step noise allowance in dollars (default $0.02).
+	Drift float64
+	// Threshold is the cumulative deviation that signals a shift
+	// (default $0.10).
+	Threshold float64
+
+	detectors map[int]*changepoint.Detector
+}
+
+// NewChangepoint returns the policy with its defaults.
+func NewChangepoint() *Changepoint {
+	return &Changepoint{Drift: 0.02, Threshold: 0.10}
+}
+
+// Name implements sim.CheckpointPolicy.
+func (c *Changepoint) Name() string { return "changepoint" }
+
+// Reset implements sim.CheckpointPolicy.
+func (c *Changepoint) Reset(env *sim.Env) {
+	c.detectors = make(map[int]*changepoint.Detector, len(env.Spec.Zones))
+	for _, zi := range env.Spec.Zones {
+		d, err := changepoint.New(env.PriceNow(zi), c.Drift, c.Threshold)
+		if err != nil {
+			// Defaults are valid; a caller-broken configuration falls
+			// back to them rather than disabling the policy.
+			d, _ = changepoint.New(env.PriceNow(zi), 0.02, 0.10)
+		}
+		c.detectors[zi] = d
+	}
+}
+
+// CheckpointCondition feeds each up zone's price to its detector and
+// triggers on a sustained upward shift.
+func (c *Changepoint) CheckpointCondition(env *sim.Env) bool {
+	fire := false
+	for _, z := range env.UpZones() {
+		d, ok := c.detectors[z.Index]
+		if !ok {
+			d, _ = changepoint.New(env.PriceNow(z.Index), c.Drift, c.Threshold)
+			c.detectors[z.Index] = d
+		}
+		if d.Observe(env.PriceNow(z.Index)) == changepoint.Up {
+			fire = true
+		}
+	}
+	return fire
+}
+
+// ScheduleNextCheckpoint implements sim.CheckpointPolicy (no-op: the
+// decision is event-driven, as with Edge).
+func (c *Changepoint) ScheduleNextCheckpoint(env *sim.Env) {}

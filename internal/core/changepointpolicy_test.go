@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func TestChangepointIgnoresJitterWhereEdgeFires(t *testing.T) {
+	// Price jitters ±$0.01 around $0.30 every step: Edge checkpoints
+	// constantly, Changepoint never.
+	var prices []float64
+	for i := 0; i < 12*10; i++ {
+		if i%2 == 0 {
+			prices = append(prices, 0.30)
+		} else {
+			prices = append(prices, 0.31)
+		}
+	}
+	set := trace.MustNewSet(trace.NewSeries("z", 0, prices))
+	cfg := sim.Config{
+		Trace: set, Work: 4 * trace.Hour, Deadline: 12 * trace.Hour,
+		CheckpointCost: 300, RestartCost: 300, Delay: market.FixedDelay(0), Seed: 1,
+	}
+	edge, err := sim.Run(cfg, SingleZone(NewEdge(), 0.81, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := sim.Run(cfg, SingleZone(NewChangepoint(), 0.81, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.Checkpoints < 10 {
+		t.Fatalf("edge checkpoints = %d, expected many on jitter", edge.Checkpoints)
+	}
+	if cp.Checkpoints != 0 {
+		t.Fatalf("changepoint checkpoints = %d on pure jitter", cp.Checkpoints)
+	}
+	if cp.FinishTime >= edge.FinishTime {
+		t.Fatalf("changepoint finish %d not earlier than edge %d (checkpoint overhead)", cp.FinishTime, edge.FinishTime)
+	}
+}
+
+func TestChangepointDetectsSustainedRise(t *testing.T) {
+	// A genuine regime shift below the bid: one checkpoint, not many.
+	set := stepTrace([2]float64{0.30, 24}, [2]float64{0.55, 12 * 8})
+	res := drive(t, set, NewChangepoint(), 0.81, 4*trace.Hour)
+	if res.Checkpoints == 0 {
+		t.Fatal("sustained rise not detected")
+	}
+	if res.Checkpoints > 2 {
+		t.Fatalf("checkpoints = %d, want 1-2 for a single shift", res.Checkpoints)
+	}
+}
+
+func TestChangepointCompletesOnVolatileMarket(t *testing.T) {
+	set := tracegen.HighVolatility(27)
+	hist, run := window(set, 5, 2)
+	cfg := testConfig(hist, run, 300)
+	res, err := sim.Run(cfg, SingleZone(NewChangepoint(), 0.81, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || !res.DeadlineMet {
+		t.Fatalf("changepoint failed: %+v", res)
+	}
+}
+
+func TestChangepointRedundant(t *testing.T) {
+	set := tracegen.HighVolatility(29)
+	hist, run := window(set, 5, 2)
+	cfg := testConfig(hist, run, 300)
+	res, err := sim.Run(cfg, Redundant(NewChangepoint(), 0.81, []int{0, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeadlineMet {
+		t.Fatal("redundant changepoint missed deadline")
+	}
+}

@@ -1,0 +1,26 @@
+// Package core implements the paper's contribution: the checkpoint
+// scheduling policies for time-constrained, cost-minimising execution on
+// the EC2 spot market.
+//
+// Single-zone and redundancy-based policies (§4) plug into the sim
+// engine's Algorithm 1 hooks:
+//
+//   - Periodic: checkpoint just before each billing-hour boundary.
+//   - MarkovDaly: a Markov chain over discretised spot prices predicts
+//     the expected uptime E[T_u] at the current bid (Appendix B); Daly's
+//     equation converts it into an optimal checkpoint interval. With N
+//     redundant zones the combined E[T_u] is the per-zone sum, so the
+//     checkpoint frequency falls as N grows.
+//   - Edge: checkpoint on every upward spot price movement in an
+//     executing zone.
+//   - Threshold: the two-threshold refinement of Edge (price threshold
+//     (S_min+B)/2 on rising edges, plus an uptime threshold).
+//   - LargeBid: bid far above any plausible price and control cost with
+//     a user threshold L, releasing instances near the hour end while
+//     the price exceeds L (§7.2.2).
+//
+// The Adaptive strategy (§7) re-simulates every permutation of bid,
+// redundancy degree and policy against recent price history at decision
+// points and switches to the least-predicted-cost configuration while
+// the engine's deadline guard keeps the completion-time guarantee.
+package core

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Periodic checkpoints at billing-hour boundaries (§4.1): a checkpoint
+// is scheduled so that it completes within the hour the leading
+// instance is currently being billed for (T_s = hour − t_c). Because
+// the user is charged the hour-start price for the whole hour, this
+// commits exactly the progress each paid hour produced.
+type Periodic struct {
+	lastHourEnd int64
+}
+
+// NewPeriodic returns a Periodic policy.
+func NewPeriodic() *Periodic { return &Periodic{} }
+
+// Name implements sim.CheckpointPolicy.
+func (p *Periodic) Name() string { return "periodic" }
+
+// Reset implements sim.CheckpointPolicy.
+func (p *Periodic) Reset(env *sim.Env) { p.lastHourEnd = 0 }
+
+// CheckpointCondition triggers once per billing hour, at the last step
+// from which the checkpoint can complete before the hour ends.
+func (p *Periodic) CheckpointCondition(env *sim.Env) bool {
+	lead := env.Leader()
+	if lead == nil || lead.Meter == nil {
+		return false
+	}
+	hourEnd := lead.Meter.HourStart() + trace.Hour
+	if hourEnd == p.lastHourEnd {
+		return false
+	}
+	remaining := hourEnd - env.Now
+	if remaining > 0 && remaining <= env.CheckpointCost()+env.Step {
+		p.lastHourEnd = hourEnd
+		return true
+	}
+	return false
+}
+
+// ScheduleNextCheckpoint implements sim.CheckpointPolicy; the schedule
+// is derived from billing hours, so nothing is planned here.
+func (p *Periodic) ScheduleNextCheckpoint(env *sim.Env) {}

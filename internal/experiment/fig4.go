@@ -1,0 +1,307 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Policy kind identifiers used across the harness.
+const (
+	KindThreshold  = "threshold"
+	KindEdge       = "edge"
+	KindPeriodic   = "periodic"
+	KindMarkovDaly = "markov-daly"
+	// KindChangepoint is the repository's CUSUM-based extension of the
+	// Edge family (not part of the paper's figures).
+	KindChangepoint = "changepoint"
+)
+
+// SinglePolicies are the single-zone checkpoint policies of Figure 4,
+// in the paper's x-axis order (T, E, P, M).
+var SinglePolicies = []string{KindThreshold, KindEdge, KindPeriodic, KindMarkovDaly}
+
+// RedundantPolicies are the policy families run with N = 3 redundancy;
+// the figures show their per-experiment best case ("R").
+var RedundantPolicies = []string{KindThreshold, KindEdge, KindPeriodic, KindMarkovDaly}
+
+// NewPolicy builds a fresh policy instance of the given kind.
+func NewPolicy(kind string) sim.CheckpointPolicy {
+	switch kind {
+	case KindThreshold:
+		return core.NewThreshold()
+	case KindEdge:
+		return core.NewEdge()
+	case KindPeriodic:
+		return core.NewPeriodic()
+	case KindMarkovDaly:
+		return core.NewMarkovDaly()
+	case KindChangepoint:
+		return core.NewChangepoint()
+	default:
+		panic(fmt.Sprintf("experiment: unknown policy kind %q", kind))
+	}
+}
+
+// task pairs a run with the slot its cost lands in.
+type task struct {
+	cfg   sim.Config
+	strat sim.Strategy
+	out   *float64
+	res   **sim.Result
+}
+
+// runTasks executes tasks in parallel; the first error aborts the batch
+// result (individual runs are deterministic, so errors are structural).
+func (s *Suite) runTasks(tasks []task) error {
+	errs := make([]error, len(tasks))
+	s.parallel(len(tasks), func(i int) {
+		res, err := sim.Run(tasks[i].cfg, tasks[i].strat)
+		if err != nil {
+			errs[i] = err
+			*tasks[i].out = math.NaN()
+			return
+		}
+		*tasks[i].out = res.Cost
+		if tasks[i].res != nil {
+			*tasks[i].res = res
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig4Cell holds one panel of Figure 4: every single-zone policy and
+// the best-case redundancy policy, per bid and merged across the
+// highlighted bids, as total cost per instance in dollars.
+type Fig4Cell struct {
+	Regime string
+	Slack  float64
+	Tc     int64
+	Bids   []float64
+	// Singles maps policy kind → bid → boxplot over windows × zones
+	// (the paper merges the three zones into one box).
+	Singles map[string]map[float64]stats.Box
+	// SinglesMerged maps policy kind → boxplot across all bids.
+	SinglesMerged map[string]stats.Box
+	// BestRedundant maps bid → boxplot of the per-window minimum cost
+	// across the redundant policy family (the paper's best-case R).
+	BestRedundant map[float64]stats.Box
+	// BestRedundantMerged merges R across bids.
+	BestRedundantMerged stats.Box
+	// References: the on-demand and minimum-spot cost lines.
+	OnDemandRef, MinSpotRef float64
+	// RedundancySignificance is the Mann-Whitney comparison of the
+	// best-case redundancy costs against the best single-zone policy's
+	// costs at the paper's $0.81 bid: a small p-value with effect size
+	// below 0.5 certifies the cell's redundancy advantage.
+	RedundancySignificance stats.MannWhitneyResult
+
+	// raw samples for downstream analyses (headline ratios).
+	singleCosts map[string]map[float64][]float64
+	bestRedCost map[float64][]float64
+}
+
+// SingleSamples exposes the raw per-run costs of a single-zone policy
+// at a bid (windows × zones entries).
+func (c *Fig4Cell) SingleSamples(kind string, bid float64) []float64 {
+	return c.singleCosts[kind][bid]
+}
+
+// BestRedundantSamples exposes the raw per-window best-case redundancy
+// costs at a bid.
+func (c *Fig4Cell) BestRedundantSamples(bid float64) []float64 {
+	return c.bestRedCost[bid]
+}
+
+// Fig4 reproduces one panel of Figure 4 (and the underlying data for
+// Tables 2 and 3): single-zone Threshold/Edge/Periodic/Markov-Daly
+// versus best-case redundancy at the figure's bid prices.
+func (s *Suite) Fig4(regime string, slack float64, tc int64, bids []float64) (*Fig4Cell, error) {
+	if bids == nil {
+		bids = core.Figure4Bids()
+	}
+	set := s.Regime(regime)
+	windows := s.windowsFor(set, slack)
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("experiment: regime %q cannot host any window at slack %g", regime, slack)
+	}
+	zones := make([]int, set.NumZones())
+	for i := range zones {
+		zones[i] = i
+	}
+
+	cell := &Fig4Cell{
+		Regime: regime, Slack: slack, Tc: tc, Bids: bids,
+		Singles:       map[string]map[float64]stats.Box{},
+		SinglesMerged: map[string]stats.Box{},
+		BestRedundant: map[float64]stats.Box{},
+		OnDemandRef:   s.OnDemandReferenceCost(),
+		MinSpotRef:    s.MinSpotReferenceCost(),
+		singleCosts:   map[string]map[float64][]float64{},
+		bestRedCost:   map[float64][]float64{},
+	}
+
+	var tasks []task
+
+	// Single-zone runs: policy × bid × zone × window.
+	for _, kind := range SinglePolicies {
+		cell.singleCosts[kind] = map[float64][]float64{}
+		for _, bid := range bids {
+			costs := make([]float64, len(windows)*len(zones))
+			cell.singleCosts[kind][bid] = costs
+			for zi := range zones {
+				for wi, w := range windows {
+					tasks = append(tasks, task{
+						cfg:   s.Config(w, slack, tc),
+						strat: core.SingleZone(NewPolicy(kind), bid, zones[zi]),
+						out:   &costs[zi*len(windows)+wi],
+					})
+				}
+			}
+		}
+	}
+
+	// Redundant runs: policy × bid × window; reduced to the per-window
+	// best case afterwards.
+	redCosts := map[string]map[float64][]float64{}
+	for _, kind := range RedundantPolicies {
+		redCosts[kind] = map[float64][]float64{}
+		for _, bid := range bids {
+			costs := make([]float64, len(windows))
+			redCosts[kind][bid] = costs
+			for wi, w := range windows {
+				tasks = append(tasks, task{
+					cfg:   s.Config(w, slack, tc),
+					strat: core.Redundant(NewPolicy(kind), bid, zones),
+					out:   &costs[wi],
+				})
+			}
+		}
+	}
+
+	if err := s.runTasks(tasks); err != nil {
+		return nil, err
+	}
+
+	// Aggregate.
+	for _, kind := range SinglePolicies {
+		cell.Singles[kind] = map[float64]stats.Box{}
+		var merged []float64
+		for _, bid := range bids {
+			costs := cell.singleCosts[kind][bid]
+			cell.Singles[kind][bid] = stats.NewBox(costs)
+			merged = append(merged, costs...)
+		}
+		cell.SinglesMerged[kind] = stats.NewBox(merged)
+	}
+	var mergedBest []float64
+	for _, bid := range bids {
+		best := make([]float64, len(windows))
+		for wi := range best {
+			best[wi] = math.Inf(1)
+			for _, kind := range RedundantPolicies {
+				if c := redCosts[kind][bid][wi]; c < best[wi] {
+					best[wi] = c
+				}
+			}
+		}
+		cell.bestRedCost[bid] = best
+		cell.BestRedundant[bid] = stats.NewBox(best)
+		mergedBest = append(mergedBest, best...)
+	}
+	cell.BestRedundantMerged = stats.NewBox(mergedBest)
+
+	// Significance of the redundancy advantage at the paper's focus bid.
+	const focusBid = 0.81
+	if red, ok := cell.bestRedCost[focusBid]; ok {
+		bestKind := ""
+		bestMedian := math.Inf(1)
+		for _, kind := range SinglePolicies {
+			if m := cell.Singles[kind][focusBid].Median; m < bestMedian {
+				bestMedian = m
+				bestKind = kind
+			}
+		}
+		if bestKind != "" {
+			cell.RedundancySignificance = stats.MannWhitney(red, cell.singleCosts[bestKind][focusBid])
+		}
+	}
+	return cell, nil
+}
+
+// OnDemandCost runs the on-demand baseline (it is price-independent,
+// but kept as a run for fidelity).
+func (s *Suite) OnDemandCost(regime string, slack float64, tc int64) (float64, error) {
+	set := s.Regime(regime)
+	windows := s.windowsFor(set, slack)
+	if len(windows) == 0 {
+		return 0, fmt.Errorf("experiment: no window available")
+	}
+	res, err := sim.Run(s.Config(windows[0], slack, tc), core.NewOnDemandOnly())
+	if err != nil {
+		return 0, err
+	}
+	return res.Cost, nil
+}
+
+// BestPolicy summarises a Table 2/3 cell: the policy (and bid) with the
+// lowest median cost.
+type BestPolicy struct {
+	Regime string
+	Slack  float64
+	Tc     int64
+	// Policy is the winning configuration: one of the single-zone
+	// kinds, or "redundancy".
+	Policy string
+	Bid    float64
+	Median float64
+	// RunnerUp is the second-best configuration and its median.
+	RunnerUp       string
+	RunnerUpMedian float64
+}
+
+// BestPolicyCell reduces a Fig4Cell to its Table 2/3 entry.
+func BestPolicyCell(cell *Fig4Cell) BestPolicy {
+	best := BestPolicy{Regime: cell.Regime, Slack: cell.Slack, Tc: cell.Tc, Median: math.Inf(1), RunnerUpMedian: math.Inf(1)}
+	consider := func(policy string, bid, median float64) {
+		if median < best.Median {
+			best.RunnerUp, best.RunnerUpMedian = best.Policy, best.Median
+			best.Policy, best.Bid, best.Median = policy, bid, median
+		} else if median < best.RunnerUpMedian {
+			best.RunnerUp, best.RunnerUpMedian = policy, median
+		}
+	}
+	for _, kind := range SinglePolicies {
+		for _, bid := range cell.Bids {
+			consider(kind, bid, cell.Singles[kind][bid].Median)
+		}
+	}
+	for _, bid := range cell.Bids {
+		consider("redundancy", bid, cell.BestRedundant[bid].Median)
+	}
+	return best
+}
+
+// Table reproduces Table 2 (t_c = 300 s) or Table 3 (t_c = 900 s): the
+// optimal policy per (volatility, slack) cell.
+func (s *Suite) Table(tc int64) ([]BestPolicy, error) {
+	var out []BestPolicy
+	for _, regime := range []string{RegimeLow, RegimeHigh} {
+		for _, slack := range Slacks {
+			cell, err := s.Fig4(regime, slack, tc, nil)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, BestPolicyCell(cell))
+		}
+	}
+	return out, nil
+}

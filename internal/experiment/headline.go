@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Headline collects the paper's four headline claims with our measured
+// counterparts:
+//
+//  1. Adaptive executes programs up to 7× cheaper than on-demand.
+//  2. Adaptive is up to 44% cheaper than the best non-redundant
+//     spot-market policy.
+//  3. Best-case redundancy is 23.9% cheaper than Periodic under high
+//     volatility with low slack (t_c = 300 s).
+//  4. Adaptive's total cost never exceeded 20% above on-demand.
+type Headline struct {
+	// AdaptiveVsOnDemand is the best observed on-demand/adaptive median
+	// ratio across cells (paper: up to 7×).
+	AdaptiveVsOnDemand float64
+	// AdaptiveVsOnDemandCell names the cell achieving it.
+	AdaptiveVsOnDemandCell string
+	// AdaptiveVsBestSingle is the largest observed saving of Adaptive's
+	// median over the best single-zone policy median (paper: up to 44%).
+	AdaptiveVsBestSingle     float64
+	AdaptiveVsBestSingleCell string
+	// RedundancyVsPeriodic is the saving of best-case redundancy over
+	// Periodic in the high-volatility, low-slack, t_c = 300 s cell
+	// (paper: 23.9%).
+	RedundancyVsPeriodic float64
+	// AdaptiveWorstOverOnDemand is the worst adaptive cost divided by
+	// the on-demand cost across all cells (paper: never above 1.20).
+	AdaptiveWorstOverOnDemand     float64
+	AdaptiveWorstOverOnDemandCell string
+}
+
+// Headline computes the claims from full Figure 4 and Figure 5 sweeps.
+func (s *Suite) Headline() (*Headline, error) {
+	h := &Headline{}
+	od := s.OnDemandReferenceCost()
+
+	// Claim 3 from the Figure 4 high-volatility low-slack cell.
+	cell, err := s.Fig4(RegimeHigh, Slacks[0], 300, nil)
+	if err != nil {
+		return nil, err
+	}
+	bestPeriodic := math.Inf(1)
+	bestRed := math.Inf(1)
+	for _, bid := range cell.Bids {
+		if m := cell.Singles[KindPeriodic][bid].Median; m < bestPeriodic {
+			bestPeriodic = m
+		}
+		if m := cell.BestRedundant[bid].Median; m < bestRed {
+			bestRed = m
+		}
+	}
+	h.RedundancyVsPeriodic = 1 - bestRed/bestPeriodic
+
+	// Claims 1, 2 and 4 from the Figure 5 sweep.
+	cells, err := s.Fig5All()
+	if err != nil {
+		return nil, err
+	}
+	h.AdaptiveWorstOverOnDemand = 0
+	for _, c := range cells {
+		name := cellName(c.Regime, c.Slack, c.Tc)
+		if r := od / c.Adaptive.Median; r > h.AdaptiveVsOnDemand {
+			h.AdaptiveVsOnDemand = r
+			h.AdaptiveVsOnDemandCell = name
+		}
+		bestSingle := math.Min(c.Periodic.Median, c.MarkovDaly.Median)
+		if saving := 1 - c.Adaptive.Median/bestSingle; saving > h.AdaptiveVsBestSingle {
+			h.AdaptiveVsBestSingle = saving
+			h.AdaptiveVsBestSingleCell = name
+		}
+		if r := c.Adaptive.Max / od; r > h.AdaptiveWorstOverOnDemand {
+			h.AdaptiveWorstOverOnDemand = r
+			h.AdaptiveWorstOverOnDemandCell = name
+		}
+	}
+	return h, nil
+}
+
+func cellName(regime string, slack float64, tc int64) string {
+	return fmt.Sprintf("%s/%.0f%%/%ds", regime, slack*100, tc)
+}

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func constantSet(price float64, hours int) *trace.Set {
+	n := hours * 12
+	prices := make([]float64, n)
+	for i := range prices {
+		prices[i] = price
+	}
+	return trace.MustNewSet(trace.NewSeries("z", 0, prices))
+}
+
+func TestOracleConstantMarket(t *testing.T) {
+	run := constantSet(0.30, 12)
+	lb, err := OracleLowerBound(run, 10*trace.Hour, 4*trace.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lb-4*0.30) > 1e-9 {
+		t.Fatalf("oracle = %g, want 1.20", lb)
+	}
+}
+
+func TestOraclePicksCheapHours(t *testing.T) {
+	// 2 expensive hours, then 4 cheap, then expensive again; the oracle
+	// needs 3 hours within a 9-hour deadline and takes the cheap ones.
+	var prices []float64
+	for i := 0; i < 12*2; i++ {
+		prices = append(prices, 2.00)
+	}
+	for i := 0; i < 12*4; i++ {
+		prices = append(prices, 0.30)
+	}
+	for i := 0; i < 12*6; i++ {
+		prices = append(prices, 2.00)
+	}
+	run := trace.MustNewSet(trace.NewSeries("z", 0, prices))
+	lb, err := OracleLowerBound(run, 9*trace.Hour, 3*trace.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lb-3*0.30) > 1e-9 {
+		t.Fatalf("oracle = %g, want 0.90", lb)
+	}
+}
+
+func TestOracleRespectsDeadline(t *testing.T) {
+	// Cheap hours exist only after the deadline: the oracle must pay
+	// the early expensive ones.
+	var prices []float64
+	for i := 0; i < 12*4; i++ {
+		prices = append(prices, 1.00)
+	}
+	for i := 0; i < 12*8; i++ {
+		prices = append(prices, 0.30)
+	}
+	run := trace.MustNewSet(trace.NewSeries("z", 0, prices))
+	lb, err := OracleLowerBound(run, 3*trace.Hour, 2*trace.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lb-2*1.00) > 1e-9 {
+		t.Fatalf("oracle = %g, want 2.00", lb)
+	}
+}
+
+func TestOracleUsesCheapestZone(t *testing.T) {
+	a := make([]float64, 12*6)
+	b := make([]float64, 12*6)
+	for i := range a {
+		a[i] = 1.00
+		b[i] = 0.40
+	}
+	run := trace.MustNewSet(trace.NewSeries("a", 0, a), trace.NewSeries("b", 0, b))
+	lb, err := OracleLowerBound(run, 5*trace.Hour, 2*trace.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lb-2*0.40) > 1e-9 {
+		t.Fatalf("oracle = %g, want 0.80", lb)
+	}
+}
+
+func TestOracleInfeasible(t *testing.T) {
+	run := constantSet(0.30, 3)
+	if _, err := OracleLowerBound(run, 2*trace.Hour, 4*trace.Hour); err == nil {
+		t.Fatal("accepted an infeasible deadline")
+	}
+	if lb, err := OracleLowerBound(run, 2*trace.Hour, 0); err != nil || lb != 0 {
+		t.Fatalf("zero work = %g, %v", lb, err)
+	}
+}
+
+// No policy can beat the oracle on any window — the bound's defining
+// property, checked against real runs.
+func TestOracleIsALowerBound(t *testing.T) {
+	s := NewQuickSuite(3, 5)
+	slack := 0.15
+	bounds, err := s.OracleBounds(RegimeHigh, slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := s.windowsFor(s.Regime(RegimeHigh), slack)
+	for i, w := range windows {
+		for _, strat := range []sim.Strategy{
+			core.SingleZone(core.NewPeriodic(), 0.81, 0),
+			core.Redundant(core.NewMarkovDaly(), 2.40, []int{0, 1, 2}),
+			core.NewAdaptive(),
+		} {
+			cfg := s.Config(w, slack, 300)
+			cfg.Delay = market.FixedDelay(300)
+			res, err := sim.Run(cfg, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost < bounds[i]-1e-9 {
+				t.Fatalf("window %d: %s cost %.2f beat the oracle bound %.2f",
+					i, strat.Name(), res.Cost, bounds[i])
+			}
+		}
+	}
+}

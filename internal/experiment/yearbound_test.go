@@ -1,0 +1,25 @@
+package experiment
+
+import "testing"
+
+func TestYearBound(t *testing.T) {
+	s := NewQuickSuite(1, 4)
+	res, err := s.YearBound(8, 0.15, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != 8 || res.Costs.N != 8 {
+		t.Fatalf("windows = %d, n = %d", res.Windows, res.Costs.N)
+	}
+	if res.DeadlinesMissed != 0 {
+		t.Fatalf("missed %d deadlines", res.DeadlinesMissed)
+	}
+	// The paper's bound: never above 20% over on-demand; enforce with a
+	// small numerical margin.
+	if res.WorstOverOnDemand > 1.25 {
+		t.Fatalf("worst cost %.2fx on-demand exceeds the paper's bound", res.WorstOverOnDemand)
+	}
+	if _, err := s.YearBound(0, 0.15, 300); err == nil {
+		t.Fatal("accepted zero windows")
+	}
+}

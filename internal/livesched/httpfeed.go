@@ -1,0 +1,115 @@
+package livesched
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/spotapi"
+	"repro/internal/trace"
+)
+
+// HTTPFeed polls a spotapi endpoint (AWS DescribeSpotPriceHistory
+// document format, e.g. cmd/pricefeedd) and exposes the history as a
+// live sample stream: each Next call returns the following 5-minute
+// row, re-fetching when the consumer catches up with the server. It is
+// the production form of the scheduler's input path.
+//
+// The AWS format carries change events, so a stretch of constant prices
+// at the head of the server's window is only observable once the next
+// movement is published — the feed's visible horizon trails the true
+// market by up to one price-hold period, exactly as it does against the
+// real DescribeSpotPriceHistory API.
+type HTTPFeed struct {
+	// Client fetches the history.
+	Client *spotapi.Client
+	// PollInterval paces re-fetches when no new data is available
+	// (default: one second of wall-clock per poll; a real deployment
+	// would use a large fraction of the 5-minute step).
+	PollInterval time.Duration
+	// MaxIdlePolls bounds consecutive polls that yield no new samples
+	// before the feed reports the stream ended (default 10).
+	MaxIdlePolls int
+
+	set  *trace.Set
+	next int
+}
+
+// Zones implements Feed. It performs the initial fetch on first use;
+// construction-time errors surface from Next, so Zones returns nil
+// until data has been seen — call Prime first when zone names are
+// needed up front.
+func (f *HTTPFeed) Zones() []string {
+	if f.set == nil {
+		return nil
+	}
+	return f.set.Zones()
+}
+
+// Step implements Feed.
+func (f *HTTPFeed) Step() int64 {
+	if f.set == nil {
+		return trace.DefaultStep
+	}
+	return f.set.Step()
+}
+
+// Prime performs the initial fetch so Zones and Step are known before
+// the scheduler starts.
+func (f *HTTPFeed) Prime(ctx context.Context) error {
+	if f.set != nil {
+		return nil
+	}
+	set, _, err := f.Client.Fetch(ctx, time.Time{}, time.Time{}, trace.DefaultStep)
+	if err != nil {
+		return fmt.Errorf("livesched: priming http feed: %w", err)
+	}
+	f.set = set
+	return nil
+}
+
+// Next implements Feed.
+func (f *HTTPFeed) Next(ctx context.Context) ([]float64, error) {
+	poll := f.PollInterval
+	if poll <= 0 {
+		poll = time.Second
+	}
+	maxIdle := f.MaxIdlePolls
+	if maxIdle <= 0 {
+		maxIdle = 10
+	}
+	idle := 0
+	for {
+		if err := f.Prime(ctx); err != nil {
+			return nil, err
+		}
+		if f.next < f.set.Series[0].Len() {
+			row := make([]float64, f.set.NumZones())
+			for i, s := range f.set.Series {
+				row[i] = s.Prices[f.next]
+			}
+			f.next++
+			return row, nil
+		}
+		// Caught up: re-fetch and see whether the server has more.
+		set, _, err := f.Client.Fetch(ctx, time.Time{}, time.Time{}, f.set.Step())
+		if err != nil {
+			return nil, err
+		}
+		if set.Series[0].Len() > f.set.Series[0].Len() {
+			f.set = set
+			idle = 0
+			continue
+		}
+		idle++
+		if idle >= maxIdle {
+			return nil, io.EOF
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

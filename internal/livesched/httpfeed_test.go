@@ -1,0 +1,134 @@
+package livesched
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/spotapi"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// growingServer serves an AWS-format history that grows over time,
+// emulating a live market.
+type growingServer struct {
+	mu      sync.Mutex
+	full    *trace.Set
+	visible int64 // seconds of the trace currently exposed
+	epoch   time.Time
+}
+
+func (g *growingServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g.mu.Lock()
+		window := g.full.Slice(g.full.Start(), g.full.Start()+g.visible)
+		g.mu.Unlock()
+		_ = spotapi.Write(w, window, g.epoch)
+	})
+}
+
+func (g *growingServer) grow(by int64) {
+	g.mu.Lock()
+	g.visible += by
+	if g.visible > g.full.Duration() {
+		g.visible = g.full.Duration()
+	}
+	g.mu.Unlock()
+}
+
+func TestHTTPFeedStreamsGrowingHistory(t *testing.T) {
+	// A volatile trace so change events track the sample grid closely
+	// (the AWS format only reveals history up to the last movement).
+	full := tracegen.HighVolatility(3).Slice(0, 4*trace.Hour)
+	g := &growingServer{full: full, visible: trace.Hour, epoch: time.Date(2013, 3, 1, 0, 0, 0, 0, time.UTC)}
+	srv := httptest.NewServer(g.handler())
+	defer srv.Close()
+
+	feed := &HTTPFeed{
+		Client:       &spotapi.Client{BaseURL: srv.URL, HTTPClient: srv.Client()},
+		PollInterval: time.Millisecond,
+		MaxIdlePolls: 50,
+	}
+	if err := feed.Prime(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(feed.Zones()); got != 3 {
+		t.Fatalf("zones = %d", got)
+	}
+	if feed.Step() != trace.DefaultStep {
+		t.Fatalf("step = %d", feed.Step())
+	}
+
+	// Consume most of the first visible hour (change events may trail
+	// the final samples of the window).
+	rows := 0
+	for ; rows < 8; rows++ {
+		if _, err := feed.Next(context.Background()); err != nil {
+			t.Fatalf("row %d: %v", rows, err)
+		}
+	}
+	// Grow the server in the background while the consumer catches up.
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		g.grow(trace.Hour)
+	}()
+	row, err := feed.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The next sample matches the source trace exactly.
+	want := full.Series[0].Prices[rows]
+	if row[0] != want {
+		t.Fatalf("row[%d] = %g, want %g", rows, row[0], want)
+	}
+
+	// Note: the AWS change-event format drops trailing constant
+	// samples, so the stream ends when the server stops growing.
+	for {
+		if _, err := feed.Next(context.Background()); err != nil {
+			if err != io.EOF {
+				t.Fatalf("err = %v, want EOF", err)
+			}
+			break
+		}
+	}
+}
+
+func TestHTTPFeedErrorsSurface(t *testing.T) {
+	feed := &HTTPFeed{Client: &spotapi.Client{BaseURL: "http://127.0.0.1:1"}}
+	if _, err := feed.Next(context.Background()); err == nil {
+		t.Fatal("unreachable server did not error")
+	}
+	if feed.Zones() != nil {
+		t.Fatal("zones before priming should be nil")
+	}
+}
+
+func TestHTTPFeedContextCancelDuringPoll(t *testing.T) {
+	full := tracegen.LowVolatility(5).Slice(0, trace.Hour)
+	g := &growingServer{full: full, visible: trace.Hour, epoch: time.Unix(0, 0).UTC()}
+	srv := httptest.NewServer(g.handler())
+	defer srv.Close()
+	feed := &HTTPFeed{
+		Client:       &spotapi.Client{BaseURL: srv.URL, HTTPClient: srv.Client()},
+		PollInterval: time.Hour, // force the poll wait
+		MaxIdlePolls: 100,
+	}
+	// Drain everything available.
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		_, err := feed.Next(ctx)
+		cancel()
+		if err != nil {
+			if err == context.DeadlineExceeded || err == io.EOF {
+				return // reached the poll wait and cancelled, as intended
+			}
+			t.Fatalf("err = %v", err)
+		}
+	}
+}

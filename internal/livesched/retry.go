@@ -1,0 +1,72 @@
+package livesched
+
+import (
+	"context"
+	"errors"
+	"io"
+	"time"
+)
+
+// RetryFeed decorates a flaky feed with bounded retries and exponential
+// backoff: transient errors (anything other than io.EOF and context
+// cancellation) are retried up to Attempts times per sample before
+// being surfaced. Production feeds — polling HTTP endpoints, websocket
+// reconnects — fail transiently all the time; the scheduler itself
+// should only see hard failures.
+type RetryFeed struct {
+	// Inner is the wrapped feed.
+	Inner Feed
+	// Attempts bounds retries per sample; 0 selects 5.
+	Attempts int
+	// Backoff is the initial delay, doubled per retry; 0 selects 1 s.
+	Backoff time.Duration
+	// Sleep is overridable for tests; nil uses a context-aware timer.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Zones implements Feed.
+func (f *RetryFeed) Zones() []string { return f.Inner.Zones() }
+
+// Step implements Feed.
+func (f *RetryFeed) Step() int64 { return f.Inner.Step() }
+
+// Next implements Feed.
+func (f *RetryFeed) Next(ctx context.Context) ([]float64, error) {
+	attempts := f.Attempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	backoff := f.Backoff
+	if backoff <= 0 {
+		backoff = time.Second
+	}
+	sleep := f.Sleep
+	if sleep == nil {
+		sleep = func(ctx context.Context, d time.Duration) error {
+			select {
+			case <-time.After(d):
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		row, err := f.Inner.Next(ctx)
+		if err == nil {
+			return row, nil
+		}
+		if err == io.EOF || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt+1 < attempts {
+			if serr := sleep(ctx, backoff); serr != nil {
+				return nil, serr
+			}
+			backoff *= 2
+		}
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,138 @@
+package livesched
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// flakyFeed fails transiently n times before each successful sample.
+type flakyFeed struct {
+	failsLeft int
+	rows      [][]float64
+	next      int
+}
+
+func (f *flakyFeed) Zones() []string { return []string{"a"} }
+func (f *flakyFeed) Step() int64     { return 300 }
+func (f *flakyFeed) Next(context.Context) ([]float64, error) {
+	if f.failsLeft > 0 {
+		f.failsLeft--
+		return nil, errors.New("transient")
+	}
+	if f.next >= len(f.rows) {
+		return nil, io.EOF
+	}
+	row := f.rows[f.next]
+	f.next++
+	return row, nil
+}
+
+func noSleep(context.Context, time.Duration) error { return nil }
+
+func TestRetryFeedRecovers(t *testing.T) {
+	inner := &flakyFeed{failsLeft: 3, rows: [][]float64{{0.3}}}
+	f := &RetryFeed{Inner: inner, Attempts: 5, Sleep: noSleep}
+	row, err := f.Next(context.Background())
+	if err != nil || row[0] != 0.3 {
+		t.Fatalf("Next = %v, %v", row, err)
+	}
+	if f.Zones()[0] != "a" || f.Step() != 300 {
+		t.Fatal("delegation broken")
+	}
+}
+
+func TestRetryFeedExhausts(t *testing.T) {
+	inner := &flakyFeed{failsLeft: 10, rows: [][]float64{{0.3}}}
+	f := &RetryFeed{Inner: inner, Attempts: 3, Sleep: noSleep}
+	if _, err := f.Next(context.Background()); err == nil {
+		t.Fatal("exhausted retries did not surface the error")
+	}
+	// 3 attempts consumed exactly 3 failures.
+	if inner.failsLeft != 7 {
+		t.Fatalf("failsLeft = %d, want 7", inner.failsLeft)
+	}
+}
+
+func TestRetryFeedPassesEOFThrough(t *testing.T) {
+	inner := &flakyFeed{rows: nil}
+	f := &RetryFeed{Inner: inner, Attempts: 5, Sleep: noSleep}
+	if _, err := f.Next(context.Background()); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestRetryFeedHonoursCancellation(t *testing.T) {
+	inner := &flakyFeed{failsLeft: 100, rows: [][]float64{{0.3}}}
+	slept := 0
+	f := &RetryFeed{Inner: inner, Attempts: 10, Sleep: func(ctx context.Context, d time.Duration) error {
+		slept++
+		return context.Canceled
+	}}
+	if _, err := f.Next(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if slept != 1 {
+		t.Fatalf("slept %d times", slept)
+	}
+}
+
+func TestRetryFeedBackoffDoubles(t *testing.T) {
+	inner := &flakyFeed{failsLeft: 3, rows: [][]float64{{0.3}}}
+	var delays []time.Duration
+	f := &RetryFeed{Inner: inner, Attempts: 5, Backoff: 100 * time.Millisecond,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			return nil
+		}}
+	if _, err := f.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(delays) != 3 {
+		t.Fatalf("delays = %v", delays)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delays = %v, want %v", delays, want)
+		}
+	}
+}
+
+func TestSchedulerOverRetryFeed(t *testing.T) {
+	// End-to-end: a scheduler over a flaky trace feed completes.
+	hist, run := liveWindow(21)
+	base := &TraceFeed{Set: run}
+	flaky := &onOffFeed{inner: base}
+	f := &RetryFeed{Inner: flaky, Attempts: 3, Sleep: noSleep}
+	rec := &Recorder{}
+	s, err := New(liveConfig(hist), coreSingleZone(), f, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeadlineMet {
+		t.Fatal("deadline missed over flaky feed")
+	}
+}
+
+// onOffFeed fails every other call.
+type onOffFeed struct {
+	inner Feed
+	calls int
+}
+
+func (f *onOffFeed) Zones() []string { return f.inner.Zones() }
+func (f *onOffFeed) Step() int64     { return f.inner.Step() }
+func (f *onOffFeed) Next(ctx context.Context) ([]float64, error) {
+	f.calls++
+	if f.calls%2 == 1 {
+		return nil, errors.New("blip")
+	}
+	return f.inner.Next(ctx)
+}

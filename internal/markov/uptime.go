@@ -1,0 +1,63 @@
+package markov
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ExpectedUptimeExact computes E[T_u] in closed form: the expected
+// absorption time of the chain restricted to up states (price ≤ bid).
+// With U the up→up transition sub-matrix and each transition taking one
+// step, the expected uptimes E satisfy (I − U)·E = step·1; a singular
+// system means the chain can remain in the up set forever, i.e. the
+// expected uptime is infinite.
+//
+// It equals the limit of the Appendix B Chapman-Kolmogorov iteration
+// (ExpectedUptime with an unbounded horizon) but costs one small linear
+// solve instead of thousands of matrix-vector products, which matters
+// when the Markov-Daly policy reschedules inside large experiment
+// sweeps.
+func (m *Model) ExpectedUptimeExact(bid, currentPrice float64) float64 {
+	start := m.StateOf(currentPrice)
+	if m.States[start] > bid {
+		return 0
+	}
+	// Collect up states and the start's position among them.
+	var upIdx []int
+	pos := make(map[int]int)
+	for i, p := range m.States {
+		if p <= bid {
+			pos[i] = len(upIdx)
+			upIdx = append(upIdx, i)
+		}
+	}
+	n := len(upIdx)
+	a := mat.New(n, n) // I − U
+	b := mat.New(n, 1) // step·1
+	for r, i := range upIdx {
+		b.Set(r, 0, float64(m.Step))
+		for c, j := range upIdx {
+			v := -m.Trans[i][j]
+			if r == c {
+				v += 1
+			}
+			a.Set(r, c, v)
+		}
+	}
+	e, err := mat.Solve(a, b)
+	if err != nil {
+		if errors.Is(err, mat.ErrSingular) {
+			return math.Inf(1)
+		}
+		return math.Inf(1)
+	}
+	v := e.At(pos[start], 0)
+	if v < 0 || math.IsNaN(v) {
+		// Numerical noise on a nearly-singular system: treat as
+		// effectively unbounded.
+		return math.Inf(1)
+	}
+	return v
+}

@@ -1,0 +1,97 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func TestExactMatchesIterativeDeterministicChain(t *testing.T) {
+	prices := []float64{0.3, 0.3, 0.9, 0.3, 0.3, 0.9, 0.3, 0.3, 0.9, 0.3}
+	m, err := Fit(prices, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Geometric with p(die) = 1/2: E = 2 steps = 600 s exactly.
+	got := m.ExpectedUptimeExact(0.5, 0.3)
+	if math.Abs(got-600) > 1e-9 {
+		t.Fatalf("exact = %g, want 600", got)
+	}
+}
+
+func TestExactOutOfBidAndAllUp(t *testing.T) {
+	m, _ := Fit([]float64{0.3, 0.9, 0.3, 0.9}, 300)
+	if got := m.ExpectedUptimeExact(0.5, 0.9); got != 0 {
+		t.Fatalf("out-of-bid exact = %g", got)
+	}
+	calm, _ := Fit([]float64{0.3, 0.4, 0.3, 0.4}, 300)
+	if got := calm.ExpectedUptimeExact(1.0, 0.3); !math.IsInf(got, 1) {
+		t.Fatalf("never-failing exact = %g, want +Inf", got)
+	}
+}
+
+func TestExactMatchesIterativeOnGeneratedTraces(t *testing.T) {
+	set := tracegen.HighVolatility(77)
+	s := set.Series[1].Slice(0, 2*24*trace.Hour)
+	hist := Quantize(s.Prices, 0.05)
+	m, err := Fit(hist, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := hist[len(hist)-1]
+	for _, bid := range []float64{0.47, 0.87, 1.47, 2.47} {
+		exact := m.ExpectedUptimeExact(bid, cur)
+		iter := m.ExpectedUptime(bid, cur)
+		if math.IsInf(exact, 1) != math.IsInf(iter, 1) {
+			// The iterative version may truncate a very long but finite
+			// tail; accept a large finite iterative value against an
+			// infinite exact one only when the iterative estimate is at
+			// its horizon cap.
+			if math.IsInf(exact, 1) && iter > 1e6 {
+				continue
+			}
+			t.Fatalf("bid %g: exact %g vs iterative %g disagree on finiteness", bid, exact, iter)
+		}
+		if math.IsInf(exact, 1) {
+			continue
+		}
+		// Within a few percent (the iterative version truncates tails).
+		if diff := math.Abs(exact-iter) / math.Max(exact, 1); diff > 0.05 {
+			t.Fatalf("bid %g: exact %g vs iterative %g (diff %.3f)", bid, exact, iter, diff)
+		}
+	}
+}
+
+func TestExactMonotoneInBid(t *testing.T) {
+	set := tracegen.HighVolatility(5)
+	s := set.Series[0].Slice(0, 2*24*trace.Hour)
+	hist := Quantize(s.Prices, 0.05)
+	m, err := Fit(hist, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := hist[len(hist)-1]
+	prev := -1.0
+	for _, bid := range []float64{0.27, 0.47, 0.87, 1.47, 2.47, 3.07} {
+		u := m.ExpectedUptimeExact(bid, cur)
+		if math.IsInf(u, 1) {
+			break
+		}
+		if u < prev-1e-6 {
+			t.Fatalf("exact uptime decreased to %g at bid %g", u, bid)
+		}
+		prev = u
+	}
+}
+
+func TestExactAbsorbingUpState(t *testing.T) {
+	m, err := Fit([]float64{0.3, 0.3, 0.7}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ExpectedUptimeExact(1.0, 0.7); !math.IsInf(got, 1) {
+		t.Fatalf("absorbing exact = %g, want +Inf", got)
+	}
+}

@@ -1,0 +1,49 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Det returns the determinant of a square matrix via LU decomposition
+// with partial pivoting. A numerically singular matrix yields 0.
+func Det(a *Matrix) (float64, error) {
+	if a.Rows != a.Cols {
+		return 0, fmt.Errorf("mat: Det needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return 1, nil
+	}
+	lu := a.Clone()
+	det := 1.0
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best == 0 {
+			return 0, nil
+		}
+		if pivot != col {
+			swapRows(lu, pivot, col)
+			det = -det
+		}
+		pv := lu.At(col, col)
+		det *= pv
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				lu.Set(r, c, lu.At(r, c)-f*lu.At(col, c))
+			}
+		}
+	}
+	return det, nil
+}

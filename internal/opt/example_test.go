@@ -1,0 +1,40 @@
+package opt_test
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+	"repro/internal/opt"
+)
+
+// ExampleBestBid picks a bid for a zone that alternates hourly between
+// a cheap and an expensive regime.
+func ExampleBestBid() {
+	// 12 samples at $0.30, 12 at $1.50, repeating: up half the time at
+	// any bid between the levels.
+	var prices []float64
+	for c := 0; c < 20; c++ {
+		for i := 0; i < 12; i++ {
+			prices = append(prices, 0.30)
+		}
+		for i := 0; i < 12; i++ {
+			prices = append(prices, 1.50)
+		}
+	}
+	chain, err := markov.Fit(prices, 300)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ov := opt.Overheads{CheckpointCost: 300, RestartCost: 300, QueueDelay: 300}
+	// A modest required rate: a bid between the regimes suffices and is
+	// far cheaper than bidding above $1.50.
+	rec, err := opt.BestBid(chain, []float64{0.47, 2.47}, ov, 0.25)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("bid $%.2f, availability %.0f%%, feasible %v\n",
+		rec.Bid, rec.Analysis.Availability*100, rec.Feasible) // ≈ half the time up
+	// Output: bid $0.47, availability 49%, feasible true
+}

@@ -1,0 +1,286 @@
+// Package opt derives bid-price recommendations analytically from the
+// price Markov chain, without replaying history through the simulator.
+//
+// This is an extension beyond the paper: the paper's Adaptive scheme
+// selects its bid by simulating every permutation against recent
+// history (§7.1). Here the same chain that powers Markov-Daly yields,
+// in closed form per candidate bid B:
+//
+//   - availability: the stationary probability of the price sitting at
+//     or below B;
+//   - the expected paid rate: E[price | price ≤ B], the hour-start
+//     price a granted instance is billed at;
+//   - the expected up and down durations of a grant/out-of-bid cycle
+//     (absorption times of the chain restricted to either side of B);
+//   - an effective progress rate discounting checkpoint overhead,
+//     rework after kills, restart cost and queuing delay;
+//   - the resulting expected dollars per hour of committed work.
+//
+// BestBid picks the cheapest bid whose effective progress rate meets a
+// required rate (work over remaining time), which is the analytic
+// analogue of Inequality (1). The ablation benchmark compares this
+// chooser against the paper's simulation-based estimator.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/markov"
+	"repro/internal/mat"
+)
+
+// Stationary returns a stationary distribution π (πP = π, Σπ = 1) of
+// the chain via power iteration, which converges for the reducible
+// chains price histories sometimes produce.
+func Stationary(m *markov.Model) []float64 {
+	n := m.NumStates()
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < 10000; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			if pi[i] == 0 {
+				continue
+			}
+			row := m.Trans[i]
+			for j := 0; j < n; j++ {
+				next[j] += pi[i] * row[j]
+			}
+		}
+		var diff float64
+		for j := range next {
+			diff += math.Abs(next[j] - pi[j])
+		}
+		pi, next = next, pi
+		if diff < 1e-12 {
+			break
+		}
+	}
+	return pi
+}
+
+// Analysis summarises a bid's analytic behaviour on one zone's chain.
+type Analysis struct {
+	Bid float64
+	// Availability is the stationary fraction of time price ≤ bid.
+	Availability float64
+	// MeanPaidPrice is E[price | price ≤ bid] in $/h: the expected
+	// hour-start rate of a granted instance.
+	MeanPaidPrice float64
+	// ExpectedUptime and ExpectedDowntime are the mean grant and
+	// out-of-bid durations in seconds (+Inf / 0 at the extremes).
+	ExpectedUptime   float64
+	ExpectedDowntime float64
+	// EffectiveRate is committed work per wall-clock second after
+	// discounting downtime, checkpoint overhead, rework, restart and
+	// queuing delay; in [0, 1].
+	EffectiveRate float64
+	// CostPerWorkHour is the expected dollars per hour of committed
+	// work: MeanPaidPrice × uptime share ÷ EffectiveRate.
+	CostPerWorkHour float64
+}
+
+// Overheads parameterise the effective-rate model.
+type Overheads struct {
+	// CheckpointCost and RestartCost are t_c and t_r in seconds.
+	CheckpointCost, RestartCost float64
+	// QueueDelay is the mean spot request queuing delay in seconds.
+	QueueDelay float64
+}
+
+// Analyze evaluates one bid against the chain.
+func Analyze(m *markov.Model, bid float64, ov Overheads) Analysis {
+	pi := Stationary(m)
+	a := Analysis{Bid: bid}
+	var availMass, paid float64
+	for i, p := range m.States {
+		if p <= bid {
+			availMass += pi[i]
+			paid += pi[i] * p
+		}
+	}
+	a.Availability = availMass
+	if availMass > 0 {
+		a.MeanPaidPrice = paid / availMass
+	}
+	if availMass == 0 {
+		return a // never granted: rate 0, cost undefined (zero value)
+	}
+
+	// Expected uptime from the stationary-conditional up start.
+	var up float64
+	infUp := false
+	for i, p := range m.States {
+		if p > bid || pi[i] == 0 {
+			continue
+		}
+		u := m.ExpectedUptimeExact(bid, p)
+		if math.IsInf(u, 1) {
+			infUp = true
+			break
+		}
+		up += pi[i] / availMass * u
+	}
+	if infUp {
+		a.ExpectedUptime = math.Inf(1)
+	} else {
+		a.ExpectedUptime = up
+	}
+	a.ExpectedDowntime = expectedDowntime(m, bid, pi)
+
+	a.EffectiveRate = effectiveRate(a, ov, float64(m.Step))
+	if a.EffectiveRate > 0 {
+		upShare := 1.0
+		if !math.IsInf(a.ExpectedUptime, 1) && a.ExpectedUptime+a.ExpectedDowntime > 0 {
+			upShare = a.ExpectedUptime / (a.ExpectedUptime + a.ExpectedDowntime)
+		}
+		a.CostPerWorkHour = a.MeanPaidPrice * upShare / a.EffectiveRate
+	}
+	return a
+}
+
+// expectedDowntime is the mean time to re-enter the up set, averaged
+// over the stationary-conditional down states; 0 when never down and
+// +Inf when the down set is absorbing.
+func expectedDowntime(m *markov.Model, bid float64, pi []float64) float64 {
+	var downIdx []int
+	pos := map[int]int{}
+	var downMass float64
+	for i, p := range m.States {
+		if p > bid {
+			pos[i] = len(downIdx)
+			downIdx = append(downIdx, i)
+			downMass += pi[i]
+		}
+	}
+	if len(downIdx) == 0 || downMass == 0 {
+		return 0
+	}
+	n := len(downIdx)
+	a := mat.New(n, n)
+	b := mat.New(n, 1)
+	for r, i := range downIdx {
+		b.Set(r, 0, float64(m.Step))
+		for c, j := range downIdx {
+			v := -m.Trans[i][j]
+			if r == c {
+				v += 1
+			}
+			a.Set(r, c, v)
+		}
+	}
+	e, err := mat.Solve(a, b)
+	if err != nil {
+		return math.Inf(1)
+	}
+	var out float64
+	for r, i := range downIdx {
+		v := e.At(r, 0)
+		if v < 0 {
+			return math.Inf(1)
+		}
+		out += pi[i] / downMass * v
+	}
+	return out
+}
+
+// effectiveRate models committed work per wall-clock second over a
+// grant/out-of-bid cycle: each cycle computes for the uptime minus one
+// checkpoint interval's expected rework and the per-cycle checkpoint
+// overhead, then waits out the downtime, queuing delay and restart.
+func effectiveRate(a Analysis, ov Overheads, step float64) float64 {
+	if a.Availability == 0 {
+		return 0
+	}
+	if math.IsInf(a.ExpectedUptime, 1) {
+		// Never killed: only checkpoint overhead applies. With Daly's
+		// interval going to infinity the overhead vanishes.
+		return 1
+	}
+	up := a.ExpectedUptime
+	if up <= 0 {
+		return 0
+	}
+	// Daly interval for the chain's MTBF.
+	tauOpt := math.Sqrt(2 * ov.CheckpointCost * up)
+	if tauOpt <= 0 {
+		tauOpt = step
+	}
+	ckptOverhead := 0.0
+	if tauOpt+ov.CheckpointCost > 0 {
+		ckptOverhead = ov.CheckpointCost / (tauOpt + ov.CheckpointCost)
+	}
+	// Expected rework at a kill: half a checkpoint interval, capped by
+	// the uptime itself.
+	rework := tauOpt / 2
+	if rework > up {
+		rework = up
+	}
+	useful := (up - rework) * (1 - ckptOverhead)
+	if useful < 0 {
+		useful = 0
+	}
+	cycle := up + a.ExpectedDowntime + ov.QueueDelay + ov.RestartCost
+	if cycle <= 0 {
+		return 0
+	}
+	r := useful / cycle
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// Recommendation is BestBid's result.
+type Recommendation struct {
+	Bid      float64
+	Analysis Analysis
+	// Feasible reports whether the bid's effective rate meets the
+	// required rate; when no bid is feasible, BestBid returns the
+	// fastest bid with Feasible = false (the deadline guard will buy
+	// on-demand time regardless).
+	Feasible bool
+}
+
+// ErrNoBids reports an empty bid grid.
+var ErrNoBids = errors.New("opt: no candidate bids")
+
+// BestBid returns the cheapest bid (expected dollars per hour of work)
+// whose effective progress rate meets requiredRate; requiredRate is
+// work remaining over time remaining, the analytic Inequality (1).
+func BestBid(m *markov.Model, bids []float64, ov Overheads, requiredRate float64) (Recommendation, error) {
+	if len(bids) == 0 {
+		return Recommendation{}, ErrNoBids
+	}
+	if requiredRate < 0 || requiredRate > 1 {
+		return Recommendation{}, fmt.Errorf("opt: required rate %g outside [0,1]", requiredRate)
+	}
+	var best *Recommendation
+	var fastest *Recommendation
+	for _, bid := range bids {
+		an := Analyze(m, bid, ov)
+		rec := Recommendation{Bid: bid, Analysis: an, Feasible: an.EffectiveRate >= requiredRate}
+		if fastest == nil || an.EffectiveRate > fastest.Analysis.EffectiveRate {
+			r := rec
+			fastest = &r
+		}
+		if !rec.Feasible || an.CostPerWorkHour <= 0 {
+			continue
+		}
+		if best == nil || an.CostPerWorkHour < best.Analysis.CostPerWorkHour {
+			r := rec
+			best = &r
+		}
+	}
+	if best != nil {
+		return *best, nil
+	}
+	return *fastest, nil
+}

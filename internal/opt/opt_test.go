@@ -1,0 +1,177 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// twoState fits a chain that alternates between 0.3 (k steps) and 0.9
+// (m steps) deterministically in expectation.
+func fitChain(t *testing.T, prices []float64) *markov.Model {
+	t.Helper()
+	m, err := markov.Fit(prices, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStationaryTwoState(t *testing.T) {
+	// 0.3 → 0.9 → 0.3 → … : stationary distribution is (1/2, 1/2).
+	m := fitChain(t, []float64{0.3, 0.9, 0.3, 0.9, 0.3})
+	pi := Stationary(m)
+	if math.Abs(pi[0]-0.5) > 1e-9 || math.Abs(pi[1]-0.5) > 1e-9 {
+		t.Fatalf("pi = %v", pi)
+	}
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pi sums to %g", sum)
+	}
+}
+
+func TestAnalyzeTwoState(t *testing.T) {
+	m := fitChain(t, []float64{0.3, 0.9, 0.3, 0.9, 0.3})
+	ov := Overheads{CheckpointCost: 300, RestartCost: 300, QueueDelay: 300}
+	an := Analyze(m, 0.5, ov)
+	if math.Abs(an.Availability-0.5) > 1e-9 {
+		t.Fatalf("availability = %g", an.Availability)
+	}
+	if math.Abs(an.MeanPaidPrice-0.3) > 1e-9 {
+		t.Fatalf("mean paid price = %g", an.MeanPaidPrice)
+	}
+	// Deterministic alternation: one step up, one step down.
+	if math.Abs(an.ExpectedUptime-300) > 1e-6 || math.Abs(an.ExpectedDowntime-300) > 1e-6 {
+		t.Fatalf("uptime/downtime = %g/%g", an.ExpectedUptime, an.ExpectedDowntime)
+	}
+	if an.EffectiveRate <= 0 || an.EffectiveRate >= 1 {
+		t.Fatalf("effective rate = %g", an.EffectiveRate)
+	}
+	if an.CostPerWorkHour <= 0 {
+		t.Fatalf("cost per work hour = %g", an.CostPerWorkHour)
+	}
+}
+
+func TestAnalyzeExtremes(t *testing.T) {
+	m := fitChain(t, []float64{0.3, 0.9, 0.3, 0.9, 0.3})
+	ov := Overheads{CheckpointCost: 300, RestartCost: 300, QueueDelay: 300}
+	// Bid below every state: never granted.
+	low := Analyze(m, 0.1, ov)
+	if low.Availability != 0 || low.EffectiveRate != 0 {
+		t.Fatalf("below-floor analysis = %+v", low)
+	}
+	// Bid above every state: always up, full rate.
+	high := Analyze(m, 2.0, ov)
+	if high.Availability != 1 || !math.IsInf(high.ExpectedUptime, 1) {
+		t.Fatalf("above-ceiling analysis = %+v", high)
+	}
+	if high.EffectiveRate != 1 {
+		t.Fatalf("above-ceiling rate = %g", high.EffectiveRate)
+	}
+	if high.ExpectedDowntime != 0 {
+		t.Fatalf("above-ceiling downtime = %g", high.ExpectedDowntime)
+	}
+}
+
+func TestAvailabilityMonotoneInBid(t *testing.T) {
+	set := tracegen.HighVolatility(21)
+	hist := markov.Quantize(set.Series[0].Slice(0, 4*24*trace.Hour).Prices, 0.05)
+	m := fitChain(t, hist)
+	ov := Overheads{CheckpointCost: 300, RestartCost: 300, QueueDelay: 300}
+	prev := -1.0
+	for _, bid := range []float64{0.27, 0.47, 0.87, 1.47, 2.47, 3.47} {
+		an := Analyze(m, bid, ov)
+		if an.Availability < prev-1e-12 {
+			t.Fatalf("availability decreased at bid %g", bid)
+		}
+		prev = an.Availability
+	}
+}
+
+func TestAnalyticAvailabilityMatchesEmpirical(t *testing.T) {
+	// The stationary availability of a chain fitted on a long window
+	// should approximate the window's empirical up fraction.
+	set := tracegen.HighVolatility(31)
+	s := set.Series[1].Slice(0, 10*24*trace.Hour)
+	hist := markov.Quantize(s.Prices, 0.05)
+	m := fitChain(t, hist)
+	ov := Overheads{CheckpointCost: 300, RestartCost: 300, QueueDelay: 300}
+	for _, bid := range []float64{0.81, 1.47, 2.47} {
+		an := Analyze(m, bid, ov)
+		emp := s.UpFraction(bid)
+		if math.Abs(an.Availability-emp) > 0.08 {
+			t.Fatalf("bid %g: analytic availability %.3f vs empirical %.3f", bid, an.Availability, emp)
+		}
+	}
+}
+
+func TestBestBid(t *testing.T) {
+	set := tracegen.HighVolatility(41)
+	hist := markov.Quantize(set.Series[0].Slice(0, 4*24*trace.Hour).Prices, 0.05)
+	m := fitChain(t, hist)
+	ov := Overheads{CheckpointCost: 300, RestartCost: 300, QueueDelay: 300}
+	grid := []float64{0.27, 0.47, 0.87, 1.47, 2.47, 3.47}
+
+	// Loose requirement: the chooser should find a feasible cheap bid.
+	rec, err := BestBid(m, grid, ov, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Feasible {
+		t.Fatalf("no feasible bid at rate 0.5: %+v", rec)
+	}
+	if rec.Analysis.CostPerWorkHour <= 0 {
+		t.Fatalf("bad cost: %+v", rec)
+	}
+
+	// Impossible requirement (rate 1 needs a never-killed zone): the
+	// chooser falls back to the fastest bid.
+	recHard, err := BestBid(m, grid[:3], ov, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recHard.Feasible {
+		t.Fatalf("rate 1.0 should be infeasible on a volatile zone below $1: %+v", recHard)
+	}
+	// The fallback is the highest-rate candidate.
+	for _, bid := range grid[:3] {
+		an := Analyze(m, bid, ov)
+		if an.EffectiveRate > recHard.Analysis.EffectiveRate+1e-12 {
+			t.Fatalf("fallback %g is not the fastest (bid %g has %g)", recHard.Analysis.EffectiveRate, bid, an.EffectiveRate)
+		}
+	}
+}
+
+func TestBestBidErrors(t *testing.T) {
+	m := fitChain(t, []float64{0.3, 0.9, 0.3})
+	ov := Overheads{}
+	if _, err := BestBid(m, nil, ov, 0.5); err == nil {
+		t.Fatal("accepted empty grid")
+	}
+	if _, err := BestBid(m, []float64{1}, ov, 1.5); err == nil {
+		t.Fatal("accepted bad rate")
+	}
+}
+
+func TestHigherBidNeverSlower(t *testing.T) {
+	// Effective rate should be monotone non-decreasing in bid on real
+	// chains: more headroom, fewer kills.
+	set := tracegen.HighVolatility(51)
+	hist := markov.Quantize(set.Series[2].Slice(0, 6*24*trace.Hour).Prices, 0.05)
+	m := fitChain(t, hist)
+	ov := Overheads{CheckpointCost: 300, RestartCost: 300, QueueDelay: 300}
+	prev := -1.0
+	for _, bid := range []float64{0.47, 0.87, 1.47, 2.47, 3.47} {
+		an := Analyze(m, bid, ov)
+		if an.EffectiveRate < prev-0.02 { // small tolerance: rework model is non-linear
+			t.Fatalf("rate dropped at bid %g: %g after %g", bid, an.EffectiveRate, prev)
+		}
+		prev = an.EffectiveRate
+	}
+}

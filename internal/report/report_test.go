@@ -1,0 +1,191 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"a", "long-header"}, [][]string{
+		{"x", "1"},
+		{"longer-cell", "2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// All data rows start their second column at the same offset.
+	off := strings.Index(lines[2], "1")
+	if strings.Index(lines[3], "2") != off {
+		t.Fatalf("misaligned:\n%s", buf.String())
+	}
+}
+
+func TestBoxCells(t *testing.T) {
+	b := stats.NewBox([]float64{1, 2, 3, 4, 5})
+	cells := BoxCells(b)
+	if len(cells) != len(BoxHeaders()) {
+		t.Fatalf("cells = %v", cells)
+	}
+	if cells[0] != "5" || cells[3] != "3.00" {
+		t.Fatalf("cells = %v", cells)
+	}
+	empty := BoxCells(stats.NewBox(nil))
+	if empty[1] != "-" {
+		t.Fatalf("empty cells = %v", empty)
+	}
+}
+
+func TestAsciiBox(t *testing.T) {
+	b := stats.NewBox([]float64{10, 20, 30, 40, 50})
+	s := AsciiBox(b, 0, 100, 40)
+	if len([]rune(s)) != 40 {
+		t.Fatalf("width = %d", len(s))
+	}
+	if !strings.Contains(s, "M") || !strings.Contains(s, "=") || !strings.Contains(s, "-") {
+		t.Fatalf("box = %q", s)
+	}
+	// Median lands near 30% of the width.
+	if i := strings.IndexRune(s, 'M'); i < 8 || i > 16 {
+		t.Fatalf("median at %d in %q", i, s)
+	}
+	if got := AsciiBox(stats.NewBox(nil), 0, 1, 20); strings.TrimSpace(got) != "" {
+		t.Fatalf("empty box = %q", got)
+	}
+	if got := AsciiBox(b, 5, 5, 20); strings.TrimSpace(got) != "" {
+		t.Fatalf("degenerate scale = %q", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := Gauge(50, 0, 100, 40, '|')
+	if i := strings.IndexRune(g, '|'); i < 16 || i > 24 {
+		t.Fatalf("gauge at %d", i)
+	}
+	if g := Gauge(500, 0, 100, 40, '|'); strings.ContainsRune(g, '|') {
+		t.Fatal("out-of-range gauge drawn")
+	}
+}
+
+func TestWriteBoxesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteBoxesCSV(&buf, []string{"a"}, []stats.Box{stats.NewBox([]float64{1, 2, 3})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "label,n,min,q1,median,q3,max,mean\n") || !strings.Contains(out, "a,3,1,") {
+		t.Fatalf("csv = %q", out)
+	}
+}
+
+func TestFigureRenderers(t *testing.T) {
+	s := experiment.NewQuickSuite(1, 3)
+
+	var buf bytes.Buffer
+	f2, err := s.Fig2(experiment.RegimeHigh, 5*24*trace.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig2(&buf, f2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "combined") {
+		t.Fatalf("fig2 output: %q", buf.String())
+	}
+
+	buf.Reset()
+	f4, err := s.Fig4(experiment.RegimeLow, 0.15, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig4(&buf, f4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "redundancy*") || !strings.Contains(buf.String(), "on-demand $48.00") {
+		t.Fatalf("fig4 output: %q", buf.String())
+	}
+
+	buf.Reset()
+	rows, err := s.Table(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BestPolicyTable(&buf, 300, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best policy") {
+		t.Fatalf("table output: %q", buf.String())
+	}
+
+	buf.Reset()
+	f5, err := s.Fig5(experiment.RegimeLow, 0.15, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig5(&buf, f5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "adaptive") {
+		t.Fatalf("fig5 output: %q", buf.String())
+	}
+
+	buf.Reset()
+	f6, err := s.Fig6(experiment.RegimeLowSpike, 0.15, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig6(&buf, f6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "large-bid L=Naive") {
+		t.Fatalf("fig6 output: %q", buf.String())
+	}
+
+	buf.Reset()
+	v, err := s.VarAnalysis(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Var(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "self/cross ratio") {
+		t.Fatalf("var output: %q", buf.String())
+	}
+
+	buf.Reset()
+	h := &experiment.Headline{
+		AdaptiveVsOnDemand: 5, AdaptiveVsOnDemandCell: "low/15%/300s",
+		AdaptiveVsBestSingle: 0.3, AdaptiveVsBestSingleCell: "high/15%/900s",
+		RedundancyVsPeriodic:      0.2,
+		AdaptiveWorstOverOnDemand: 1.1, AdaptiveWorstOverOnDemandCell: "high/15%/900s",
+	}
+	if err := HeadlineReport(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "23.9% cheaper") {
+		t.Fatalf("headline output: %q", buf.String())
+	}
+}
+
+func TestScaleHi(t *testing.T) {
+	b := stats.NewBox([]float64{10, 100})
+	if hi := scaleHi([]float64{48}, b); hi < 100 {
+		t.Fatalf("scaleHi = %g", hi)
+	}
+	nan := stats.NewBox(nil)
+	if hi := scaleHi([]float64{48}, nan); math.IsNaN(hi) || hi < 48 {
+		t.Fatalf("scaleHi with empty box = %g", hi)
+	}
+}

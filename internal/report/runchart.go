@@ -1,0 +1,159 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RunChart renders a recorded run as the paper's Figure 1/3 view: per
+// zone, the spot price relative to the bid and the instance state over
+// time (running, checkpointing, restarting, down), plus the committed
+// progress bar P at the bottom. It requires a result produced with
+// Config.RecordTimeline set.
+//
+// Row legend:
+//
+//	price  '.' ≤ bid, '^' > bid
+//	state  '#' running, 'C' checkpointing, 'R' restarting/queued,
+//	       'W' waiting, ' ' down
+//	P      committed-progress deciles ('.' none, '0'-'9', '#' done)
+func RunChart(w io.Writer, cfg sim.Config, res *sim.Result, bid float64, width int) error {
+	if len(res.Timeline) == 0 {
+		return fmt.Errorf("report: run chart needs a recorded timeline")
+	}
+	if width < 20 {
+		width = 72
+	}
+	start := cfg.Trace.Start()
+	end := res.FinishTime
+	if end <= start {
+		end = cfg.Trace.End()
+	}
+	span := end - start
+
+	fmt.Fprintf(w, "run chart — %s (%s), %.0f h span, bid $%.2f\n",
+		res.Strategy, res.Policy, float64(span)/float64(trace.Hour), bid)
+	// Zones involved in the run (those with any timeline event).
+	zones := map[int]bool{}
+	for _, ev := range res.Timeline {
+		if ev.Zone >= 0 {
+			zones[ev.Zone] = true
+		}
+	}
+	var zoneIdx []int
+	for zi := range zones {
+		zoneIdx = append(zoneIdx, zi)
+	}
+	sort.Ints(zoneIdx)
+
+	for _, zi := range zoneIdx {
+		series := cfg.Trace.Series[zi]
+		price := make([]rune, width)
+		for c := 0; c < width; c++ {
+			at := start + int64(c)*span/int64(width)
+			if series.PriceAt(at) > bid {
+				price[c] = '^'
+			} else {
+				price[c] = '.'
+			}
+		}
+		state := buildStateRow(res.Timeline, zi, start, span, width)
+		fmt.Fprintf(w, "%-12s price %s\n", series.Zone, string(price))
+		fmt.Fprintf(w, "%-12s state %s\n", "", state)
+	}
+
+	// Committed progress as a decile ramp: at each time column the digit
+	// is the committed fraction of the total work (checkpoint commits
+	// carry their P value in the event detail); '#' marks completion.
+	progress := make([]rune, width)
+	type commit struct {
+		at int64
+		p  int64
+	}
+	var commits []commit
+	for _, ev := range res.Timeline {
+		switch ev.Kind {
+		case sim.TLCheckpointDone:
+			if p, err := strconv.ParseInt(ev.Detail, 10, 64); err == nil {
+				commits = append(commits, commit{at: ev.Time, p: p})
+			}
+		case sim.TLComplete:
+			commits = append(commits, commit{at: ev.Time, p: cfg.Work})
+		}
+	}
+	for c := 0; c < width; c++ {
+		at := start + int64(c+1)*span/int64(width)
+		var committed int64
+		for _, cm := range commits {
+			if cm.at <= at {
+				committed = cm.p
+			}
+		}
+		switch {
+		case committed >= cfg.Work:
+			progress[c] = '#'
+		case committed == 0:
+			progress[c] = '.'
+		default:
+			progress[c] = rune('0' + committed*10/cfg.Work)
+		}
+	}
+	fmt.Fprintf(w, "%-12s P     %s\n", "progress", string(progress))
+
+	fmt.Fprintf(w, "legend: price '.'<=bid '^'>bid | state '#'run 'C'ckpt 'R'restart 'W'wait | P committed deciles, '#' done\n")
+	fmt.Fprintf(w, "events: %d checkpoints (%d aborted), %d kills, %d restarts, on-demand: %v, cost $%.2f\n",
+		res.Checkpoints, res.AbortedCheckpoints, res.ProviderKills, res.Restarts, res.SwitchedOnDemand, res.Cost)
+	return nil
+}
+
+// buildStateRow paints one zone's instance state across the width.
+func buildStateRow(events []sim.TimelineEvent, zone int, start, span int64, width int) string {
+	row := []rune(strings.Repeat(" ", width))
+	col := func(t int64) int {
+		c := int((t - start) * int64(width) / span)
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	cur := ' '
+	lastCol := 0
+	paint := func(upTo int) {
+		for c := lastCol; c < upTo && c < width; c++ {
+			row[c] = cur
+		}
+	}
+	for _, ev := range events {
+		if ev.Zone != zone {
+			continue
+		}
+		c := col(ev.Time)
+		paint(c)
+		lastCol = c
+		switch ev.Kind {
+		case sim.TLZoneUp:
+			cur = '#'
+		case sim.TLZonePending:
+			cur = 'R'
+		case sim.TLZoneWaiting:
+			cur = 'W'
+		case sim.TLZoneDown:
+			cur = ' '
+		case sim.TLCheckpointStart:
+			cur = 'C'
+		case sim.TLCheckpointDone, sim.TLCheckpointAborted:
+			cur = '#'
+		}
+	}
+	paint(width)
+	return string(row)
+}

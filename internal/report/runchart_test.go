@@ -1,0 +1,71 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+func TestRunChartFig1(t *testing.T) {
+	s := experiment.NewQuickSuite(1, 3)
+	ill, err := s.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunChart(&buf, ill.Cfg, ill.Res, ill.Bid, 76); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"price", "state", "progress", "legend", "^", "#", "C"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The Figure 1 story: two kills, at least one committed checkpoint,
+	// one restart from it.
+	if ill.Res.ProviderKills != 2 {
+		t.Fatalf("kills = %d, want 2", ill.Res.ProviderKills)
+	}
+	if ill.Res.Checkpoints == 0 || ill.Res.Restarts == 0 {
+		t.Fatalf("checkpoints=%d restarts=%d", ill.Res.Checkpoints, ill.Res.Restarts)
+	}
+	if !ill.Res.DeadlineMet {
+		t.Fatal("illustration missed its deadline")
+	}
+}
+
+func TestRunChartFig3(t *testing.T) {
+	s := experiment.NewQuickSuite(1, 3)
+	ill, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunChart(&buf, ill.Cfg, ill.Res, ill.Bid, 76); err != nil {
+		t.Fatal(err)
+	}
+	// Edge checkpoints on the two rising edges below the bid.
+	if ill.Res.Checkpoints != 2 {
+		t.Fatalf("edge checkpoints = %d, want 2", ill.Res.Checkpoints)
+	}
+	if ill.Res.ProviderKills != 1 {
+		t.Fatalf("kills = %d, want 1", ill.Res.ProviderKills)
+	}
+	// Progress survives the kill: the ramp must show non-zero committed
+	// progress before the restart.
+	if !strings.Contains(buf.String(), "4") {
+		t.Fatalf("progress ramp missing committed deciles:\n%s", buf.String())
+	}
+}
+
+func TestRunChartNeedsTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	err := RunChart(&buf, sim.Config{}, &sim.Result{}, 0.8, 76)
+	if err == nil {
+		t.Fatal("accepted a result without a timeline")
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+func TestAuditAcceptsRealRuns(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 17))
+	for trial := 0; trial < 40; trial++ {
+		set := randomSet(rng, 2, 12*30)
+		cfg := Config{
+			Trace: set, Work: 4 * trace.Hour, Deadline: 8 * trace.Hour,
+			CheckpointCost: 300, RestartCost: 300,
+			Delay: market.FixedDelay(300), Seed: uint64(trial),
+			RecordTimeline: true,
+		}
+		res, err := Run(cfg, static{RunSpec{Bid: 0.27 + rng.Float64()*2, Zones: []int{0, 1}, Policy: &hourly{interval: trace.Hour}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AuditResult(cfg, res); err != nil {
+			t.Fatalf("trial %d: audit rejected a real run: %v", trial, err)
+		}
+	}
+}
+
+func TestAuditNeedsTimeline(t *testing.T) {
+	cfg := baseConfig(constSet(0.3, 12*10))
+	res, err := Run(cfg, static{RunSpec{Bid: 0.5, Zones: []int{0}, Policy: neverCheckpoint{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditResult(cfg, res); err == nil {
+		t.Fatal("audit accepted a run without a timeline")
+	}
+}
+
+func TestAuditCatchesTamperedLedger(t *testing.T) {
+	cfg := baseConfig(constSet(0.3, 12*10))
+	cfg.Deadline = 12 * trace.Hour
+	cfg.RecordTimeline = true
+	res, err := Run(cfg, static{RunSpec{Bid: 0.5, Zones: []int{0}, Policy: neverCheckpoint{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditResult(cfg, res); err != nil {
+		t.Fatalf("clean run rejected: %v", err)
+	}
+
+	// Tamper with a rate: hour-start pricing violated.
+	tampered := *res
+	tampered.Ledger.Entries = append([]market.Entry(nil), res.Ledger.Entries...)
+	tampered.Ledger.Entries[0].Rate = 0.99
+	if err := AuditResult(cfg, &tampered); err == nil || !strings.Contains(err.Error(), "trace says") {
+		t.Fatalf("tampered rate not caught: %v", err)
+	}
+
+	// Move a charge outside any up period.
+	tampered2 := *res
+	tampered2.Ledger.Entries = append([]market.Entry(nil), res.Ledger.Entries...)
+	tampered2.Ledger.Entries[0].HourStart = res.FinishTime + 10*trace.Hour
+	if err := AuditResult(cfg, &tampered2); err == nil {
+		t.Fatal("out-of-period charge not caught")
+	}
+
+	// Invent an unknown zone.
+	tampered3 := *res
+	tampered3.Ledger.Entries = append([]market.Entry(nil), res.Ledger.Entries...)
+	tampered3.Ledger.Entries[0].Zone = "mars-north-1"
+	if err := AuditResult(cfg, &tampered3); err == nil || !strings.Contains(err.Error(), "unknown zone") {
+		t.Fatalf("unknown zone not caught: %v", err)
+	}
+
+	// Corrupt the total.
+	tampered4 := *res
+	tampered4.SpotCost += 1
+	if err := AuditResult(cfg, &tampered4); err == nil {
+		t.Fatal("corrupted total not caught")
+	}
+}
+
+func TestAuditGuardRun(t *testing.T) {
+	// A run that migrates to on-demand: the audit accepts the on-demand
+	// hours because the migration is in the timeline.
+	cfg := baseConfig(constSet(5.0, 12*10)) // never grantable
+	cfg.RecordTimeline = true
+	res, err := Run(cfg, static{RunSpec{Bid: 0.5, Zones: []int{0}, Policy: neverCheckpoint{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SwitchedOnDemand {
+		t.Fatal("expected a guard migration")
+	}
+	if err := AuditResult(cfg, res); err != nil {
+		t.Fatalf("audit rejected a guard run: %v", err)
+	}
+}

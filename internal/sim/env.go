@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/market"
+)
+
+// ZoneState is the run-time state of one zone's instance.
+type ZoneState struct {
+	// Index is the zone's position in the trace.
+	Index int
+	// Name is the zone label.
+	Name string
+	// State is the instance lifecycle state.
+	State InstanceState
+	// Meter bills the running instance (non-nil while Up).
+	Meter *market.Meter
+	// Progress is the replica's total application progress in seconds
+	// (committed plus speculative).
+	Progress int64
+	// BusyUntil freezes progress until the given absolute time while
+	// the replica checkpoints or restores.
+	BusyUntil int64
+	// ReadyAt is when a Pending request becomes usable.
+	ReadyAt int64
+	// restore marks a Pending start that must load a checkpoint.
+	restore bool
+	// UpSince is when the instance last became Up.
+	UpSince int64
+}
+
+// checkpoint tracks an in-progress checkpoint.
+type checkpoint struct {
+	zone   int   // zone index performing the checkpoint
+	endsAt int64 // absolute completion time
+	snap   int64 // progress value being committed
+}
+
+// Env is the engine state policies and strategies observe.
+type Env struct {
+	// Cfg is the immutable run configuration.
+	Cfg Config
+	// Spec is the active run specification.
+	Spec RunSpec
+	// Now is the current absolute simulation time.
+	Now int64
+	// StartTime is the experiment start (Trace.Start()).
+	StartTime int64
+	// Step is the simulation step in seconds.
+	Step int64
+	// Zones holds the state of every zone in the trace (active or not).
+	Zones []ZoneState
+	// Committed is P: checkpointed progress in seconds.
+	Committed int64
+	// LastCheckpointAt is when the latest checkpoint completed (or the
+	// start time when none has).
+	LastCheckpointAt int64
+	// LastRestartAt is when instances last (re)started.
+	LastRestartAt int64
+
+	ledger market.Ledger
+	rng    *rand.Rand
+	delay  market.DelayModel
+	ck     *checkpoint
+	res    Result
+}
+
+// Rand returns the run's deterministic random stream.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Work returns C in seconds.
+func (e *Env) Work() int64 { return e.Cfg.Work }
+
+// Deadline returns the absolute deadline time.
+func (e *Env) Deadline() int64 { return e.StartTime + e.Cfg.Deadline }
+
+// RemainingTime returns T_r: seconds until the deadline.
+func (e *Env) RemainingTime() int64 { return e.Deadline() - e.Now }
+
+// RemainingWork returns C_r: seconds of computation not yet committed.
+func (e *Env) RemainingWork() int64 { return e.Cfg.Work - e.Committed }
+
+// ElapsedTime returns T: seconds since the experiment start.
+func (e *Env) ElapsedTime() int64 { return e.Now - e.StartTime }
+
+// CheckpointCost returns t_c in seconds.
+func (e *Env) CheckpointCost() int64 { return e.Cfg.CheckpointCost }
+
+// RestartCost returns t_r in seconds.
+func (e *Env) RestartCost() int64 { return e.Cfg.RestartCost }
+
+// Price returns the spot price of the zone at absolute time t, reading
+// the bootstrap history for times before the run window.
+func (e *Env) Price(zone int, t int64) float64 {
+	if t < e.StartTime && e.Cfg.History != nil && e.Cfg.History.NumZones() > zone {
+		return e.Cfg.History.Series[zone].PriceAt(t)
+	}
+	return e.Cfg.Trace.Series[zone].PriceAt(t)
+}
+
+// PriceNow returns the zone's current spot price.
+func (e *Env) PriceNow(zone int) float64 { return e.Price(zone, e.Now) }
+
+// PriceHistory samples the zone's trailing price history: span seconds
+// ending at (and including) Now, on the step grid, oldest first. The
+// available history bounds the result.
+func (e *Env) PriceHistory(zone int, span int64) []float64 {
+	from := e.Now - span + e.Step
+	lo := e.StartTime
+	if e.Cfg.History != nil && e.Cfg.History.Duration() > 0 {
+		lo = e.Cfg.History.Start()
+	}
+	if from < lo {
+		from = lo
+	}
+	var out []float64
+	for t := from; t <= e.Now; t += e.Step {
+		out = append(out, e.Price(zone, t))
+	}
+	return out
+}
+
+// ActiveZones returns the states of the zones in the current spec.
+func (e *Env) ActiveZones() []*ZoneState {
+	out := make([]*ZoneState, 0, len(e.Spec.Zones))
+	for _, zi := range e.Spec.Zones {
+		out = append(out, &e.Zones[zi])
+	}
+	return out
+}
+
+// UpZones returns the active zones currently Up.
+func (e *Env) UpZones() []*ZoneState {
+	var out []*ZoneState
+	for _, z := range e.ActiveZones() {
+		if z.State == Up {
+			out = append(out, z)
+		}
+	}
+	return out
+}
+
+// AnyUp reports whether any active zone is Up.
+func (e *Env) AnyUp() bool { return len(e.UpZones()) > 0 }
+
+// Leader returns the Up zone with the most progress, or nil.
+func (e *Env) Leader() *ZoneState {
+	var best *ZoneState
+	for _, z := range e.UpZones() {
+		if best == nil || z.Progress > best.Progress {
+			best = z
+		}
+	}
+	return best
+}
+
+// LeaderProgress returns the leader's progress, or Committed when no
+// zone is up.
+func (e *Env) LeaderProgress() int64 {
+	if l := e.Leader(); l != nil {
+		return l.Progress
+	}
+	return e.Committed
+}
+
+// CheckpointInProgress reports whether a checkpoint is being taken.
+func (e *Env) CheckpointInProgress() bool { return e.ck != nil }
+
+// UncommittedProgress returns the leader's progress beyond the latest
+// checkpoint.
+func (e *Env) UncommittedProgress() int64 { return e.LeaderProgress() - e.Committed }
+
+// Cost returns the dollars charged so far (per node).
+func (e *Env) Cost() float64 { return e.ledger.Total() }
+
+// RisingEdge reports whether the zone's spot price moved upward across
+// the latest step (the Edge policy trigger).
+func (e *Env) RisingEdge(zone int) bool {
+	return e.Price(zone, e.Now) > e.Price(zone, e.Now-e.Step)
+}
+
+// MinObservedPrice returns the minimum price the zone quoted over its
+// available history up to now (S_min in the Threshold policy).
+func (e *Env) MinObservedPrice(zone int) float64 {
+	lo := e.StartTime
+	if e.Cfg.History != nil && e.Cfg.History.Duration() > 0 {
+		lo = e.Cfg.History.Start()
+	}
+	min := e.Price(zone, lo)
+	for t := lo; t <= e.Now; t += e.Step {
+		if p := e.Price(zone, t); p < min {
+			min = p
+		}
+	}
+	return min
+}
+
+// TimelineEvents returns the events recorded so far (only populated
+// when Cfg.RecordTimeline is set). The live scheduler drains it
+// incrementally to derive externally visible actions.
+func (e *Env) TimelineEvents() []TimelineEvent { return e.res.Timeline }
+
+func (e *Env) timeline(kind TimelineKind, zone int, detail string) {
+	if !e.Cfg.RecordTimeline {
+		return
+	}
+	e.res.Timeline = append(e.res.Timeline, TimelineEvent{Time: e.Now, Kind: kind, Zone: zone, Detail: detail})
+}
+
+// nodes returns the cost multiplier.
+func (e *Env) nodes() int {
+	if e.Cfg.Nodes <= 0 {
+		return 1
+	}
+	return e.Cfg.Nodes
+}

@@ -1,0 +1,36 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Example runs a 4-hour job on a calm single-zone market under the
+// Periodic policy and prints the outcome.
+func Example() {
+	prices := make([]float64, 12*12) // 12 hours at $0.30
+	for i := range prices {
+		prices[i] = 0.30
+	}
+	cfg := sim.Config{
+		Trace:          trace.MustNewSet(trace.NewSeries("us-east-1a", 0, prices)),
+		Work:           4 * trace.Hour,
+		Deadline:       10 * trace.Hour,
+		CheckpointCost: 300,
+		RestartCost:    300,
+		Delay:          market.FixedDelay(0),
+		Seed:           1,
+	}
+	res, err := sim.Run(cfg, core.SingleZone(core.NewPeriodic(), 0.81, 0))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("cost $%.2f, deadline met: %v, checkpoints: %d\n",
+		res.Cost, res.DeadlineMet, res.Checkpoints)
+	// Output: cost $1.50, deadline met: true, checkpoints: 4
+}

@@ -1,0 +1,31 @@
+package spotapi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tracegen"
+)
+
+// FuzzParse exercises the AWS-format parser: never panic; accepted
+// inputs yield valid sets.
+func FuzzParse(f *testing.F) {
+	var seed bytes.Buffer
+	set := tracegen.LowVolatility(1).Slice(0, 6*3600)
+	_ = Write(&seed, set, time.Date(2013, 3, 1, 0, 0, 0, 0, time.UTC))
+	f.Add(seed.String())
+	f.Add(`{"SpotPriceHistory":[{"AvailabilityZone":"a","SpotPrice":"0.30","Timestamp":"2013-03-01T00:00:00Z"}]}`)
+	f.Add(`{"SpotPriceHistory":[]}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, in string) {
+		got, _, err := Parse(strings.NewReader(in), 0)
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid set: %v", err)
+		}
+	})
+}

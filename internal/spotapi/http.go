@@ -1,0 +1,90 @@
+package spotapi
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Handler serves a trace.Set's price history in the AWS document format
+// at GET /spot-price-history. Optional query parameters start and end
+// (RFC 3339) bound the served window; times outside the trace are
+// clamped. It backs demos and tests of the live scheduler without any
+// cloud access.
+func Handler(set *trace.Set, epoch time.Time) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /spot-price-history", func(w http.ResponseWriter, r *http.Request) {
+		window := set
+		from, to := set.Start(), set.End()
+		if v := r.URL.Query().Get("start"); v != "" {
+			t, err := time.Parse(time.RFC3339, v)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad start: %v", err), http.StatusBadRequest)
+				return
+			}
+			from = int64(t.Sub(epoch) / time.Second)
+		}
+		if v := r.URL.Query().Get("end"); v != "" {
+			t, err := time.Parse(time.RFC3339, v)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad end: %v", err), http.StatusBadRequest)
+				return
+			}
+			to = int64(t.Sub(epoch) / time.Second)
+		}
+		window = set.Slice(from, to)
+		if window.Duration() == 0 {
+			http.Error(w, "window outside trace", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := Write(w, window, epoch); err != nil {
+			// Headers are gone; nothing more to do than log via the
+			// server's error path.
+			return
+		}
+	})
+	return mux
+}
+
+// Client fetches spot price history from a Handler-compatible endpoint.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Fetch retrieves the history between start and end (zero values fetch
+// everything) and resamples it onto the given step grid.
+func (c *Client) Fetch(ctx context.Context, start, end time.Time, step int64) (*trace.Set, time.Time, error) {
+	url := c.BaseURL + "/spot-price-history"
+	sep := "?"
+	if !start.IsZero() {
+		url += sep + "start=" + start.UTC().Format(time.RFC3339)
+		sep = "&"
+	}
+	if !end.IsZero() {
+		url += sep + "end=" + end.UTC().Format(time.RFC3339)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, time.Time{}, fmt.Errorf("spotapi: server returned %s", resp.Status)
+	}
+	return Parse(resp.Body, step)
+}

@@ -1,0 +1,157 @@
+// Package spotapi bridges Amazon's spot price history format and the
+// repository's trace model.
+//
+// The AWS API (DescribeSpotPriceHistory; `aws ec2
+// describe-spot-price-history` in the CLI) reports price *change
+// events* — one record per movement per zone — while the simulation
+// consumes uniformly sampled step functions. This package parses the
+// AWS JSON document into a trace.Set (resampling onto the 5-minute
+// grid the paper uses), exports a trace.Set back into the AWS format,
+// and serves/fetches histories over HTTP so the live scheduler can
+// consume a price feed with the same shape real deployments see.
+package spotapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// CC2InstanceType is the instance type of the paper's experiments.
+const CC2InstanceType = "cc2.8xlarge"
+
+// LinuxProduct is the product description the paper's history uses.
+const LinuxProduct = "Linux/UNIX"
+
+// Record is one AWS spot price change event.
+type Record struct {
+	AvailabilityZone   string    `json:"AvailabilityZone"`
+	InstanceType       string    `json:"InstanceType"`
+	ProductDescription string    `json:"ProductDescription"`
+	SpotPrice          string    `json:"SpotPrice"` // AWS serialises the price as a string
+	Timestamp          time.Time `json:"Timestamp"`
+}
+
+// History is the AWS response document.
+type History struct {
+	SpotPriceHistory []Record `json:"SpotPriceHistory"`
+}
+
+// Parse decodes an AWS history document and resamples it into an
+// aligned trace.Set on the given step grid (trace.DefaultStep if step
+// is 0). The returned epoch is the wall-clock time of the first sample;
+// trace times are seconds since that epoch.
+func Parse(r io.Reader, step int64) (*trace.Set, time.Time, error) {
+	var doc History
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, time.Time{}, fmt.Errorf("spotapi: decoding history: %w", err)
+	}
+	return FromRecords(doc.SpotPriceHistory, step)
+}
+
+// FromRecords resamples change events into a trace.Set.
+func FromRecords(records []Record, step int64) (*trace.Set, time.Time, error) {
+	if step <= 0 {
+		step = trace.DefaultStep
+	}
+	if len(records) == 0 {
+		return nil, time.Time{}, fmt.Errorf("spotapi: empty history")
+	}
+	type event struct {
+		at    time.Time
+		price float64
+	}
+	byZone := map[string][]event{}
+	var zones []string
+	var first, last time.Time
+	for i, rec := range records {
+		price, err := strconv.ParseFloat(rec.SpotPrice, 64)
+		if err != nil {
+			return nil, time.Time{}, fmt.Errorf("spotapi: record %d has bad price %q: %w", i, rec.SpotPrice, err)
+		}
+		if price < 0 {
+			return nil, time.Time{}, fmt.Errorf("spotapi: record %d has negative price", i)
+		}
+		if _, ok := byZone[rec.AvailabilityZone]; !ok {
+			zones = append(zones, rec.AvailabilityZone)
+		}
+		byZone[rec.AvailabilityZone] = append(byZone[rec.AvailabilityZone], event{at: rec.Timestamp, price: price})
+		if first.IsZero() || rec.Timestamp.Before(first) {
+			first = rec.Timestamp
+		}
+		if rec.Timestamp.After(last) {
+			last = rec.Timestamp
+		}
+	}
+	sort.Strings(zones)
+
+	epoch := first.Truncate(time.Duration(step) * time.Second)
+	samples := int(last.Sub(epoch)/(time.Duration(step)*time.Second)) + 1
+	series := make([]*trace.Series, 0, len(zones))
+	for _, zone := range zones {
+		evs := byZone[zone]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].at.Before(evs[j].at) })
+		prices := make([]float64, samples)
+		cur := evs[0].price
+		next := 0
+		for i := 0; i < samples; i++ {
+			at := epoch.Add(time.Duration(int64(i)*step) * time.Second)
+			for next < len(evs) && !evs[next].at.After(at) {
+				cur = evs[next].price
+				next++
+			}
+			prices[i] = cur
+		}
+		series = append(series, &trace.Series{Zone: zone, Epoch: 0, Step: step, Prices: prices})
+	}
+	set, err := trace.NewSet(series...)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	return set, epoch, nil
+}
+
+// ToRecords exports a trace.Set as AWS change events: one record per
+// price movement per zone (plus the initial price), with wall-clock
+// timestamps anchored at epoch.
+func ToRecords(set *trace.Set, epoch time.Time) []Record {
+	var out []Record
+	for _, s := range set.Series {
+		prev := -1.0
+		for i, p := range s.Prices {
+			if p == prev {
+				continue
+			}
+			prev = p
+			at := epoch.Add(time.Duration(s.Epoch+int64(i)*s.Step) * time.Second)
+			out = append(out, Record{
+				AvailabilityZone:   s.Zone,
+				InstanceType:       CC2InstanceType,
+				ProductDescription: LinuxProduct,
+				SpotPrice:          strconv.FormatFloat(p, 'f', 6, 64),
+				Timestamp:          at,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Timestamp.Equal(out[j].Timestamp) {
+			return out[i].Timestamp.Before(out[j].Timestamp)
+		}
+		return out[i].AvailabilityZone < out[j].AvailabilityZone
+	})
+	return out
+}
+
+// Write encodes the set as an AWS history document.
+func Write(w io.Writer, set *trace.Set, epoch time.Time) error {
+	doc := History{SpotPriceHistory: ToRecords(set, epoch)}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

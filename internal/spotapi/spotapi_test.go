@@ -1,0 +1,162 @@
+package spotapi
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+var testEpoch = time.Date(2013, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRoundTrip(t *testing.T) {
+	set := tracegen.LowVolatility(5).Slice(0, 24*trace.Hour)
+	var buf bytes.Buffer
+	if err := Write(&buf, set, testEpoch); err != nil {
+		t.Fatal(err)
+	}
+	got, epoch, err := Parse(&buf, trace.DefaultStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !epoch.Equal(testEpoch) {
+		t.Fatalf("epoch = %v, want %v", epoch, testEpoch)
+	}
+	if got.NumZones() != set.NumZones() {
+		t.Fatalf("zones = %d", got.NumZones())
+	}
+	// Change events lose trailing constant samples (no event marks the
+	// end of the trace), so compare over the parsed length.
+	for zi, gs := range got.Series {
+		var ws *trace.Series
+		for _, s := range set.Series {
+			if s.Zone == gs.Zone {
+				ws = s
+			}
+		}
+		if ws == nil {
+			t.Fatalf("zone %q missing", gs.Zone)
+		}
+		for i, p := range gs.Prices {
+			at := int64(i) * gs.Step
+			if want := ws.PriceAt(at); p != want {
+				t.Fatalf("zone %s sample %d (zi %d) = %g, want %g", gs.Zone, i, zi, p, want)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, _, err := Parse(strings.NewReader("{"), 0); err == nil {
+		t.Fatal("accepted truncated JSON")
+	}
+	if _, _, err := Parse(strings.NewReader(`{"SpotPriceHistory":[]}`), 0); err == nil {
+		t.Fatal("accepted empty history")
+	}
+	bad := `{"SpotPriceHistory":[{"AvailabilityZone":"a","SpotPrice":"x","Timestamp":"2013-03-01T00:00:00Z"}]}`
+	if _, _, err := Parse(strings.NewReader(bad), 0); err == nil {
+		t.Fatal("accepted bad price")
+	}
+	neg := `{"SpotPriceHistory":[{"AvailabilityZone":"a","SpotPrice":"-1","Timestamp":"2013-03-01T00:00:00Z"}]}`
+	if _, _, err := Parse(strings.NewReader(neg), 0); err == nil {
+		t.Fatal("accepted negative price")
+	}
+}
+
+func TestToRecordsEmitsOnlyChanges(t *testing.T) {
+	s := trace.NewSeries("us-east-1a", 0, []float64{0.3, 0.3, 0.4, 0.4, 0.3})
+	set := trace.MustNewSet(s)
+	recs := ToRecords(set, testEpoch)
+	if len(recs) != 3 { // 0.3 at t0, 0.4 at t2, 0.3 at t4
+		t.Fatalf("records = %d: %+v", len(recs), recs)
+	}
+	if recs[0].SpotPrice != "0.300000" || recs[0].InstanceType != CC2InstanceType {
+		t.Fatalf("first record = %+v", recs[0])
+	}
+	if want := testEpoch.Add(2 * 300 * time.Second); !recs[1].Timestamp.Equal(want) {
+		t.Fatalf("second record at %v, want %v", recs[1].Timestamp, want)
+	}
+}
+
+func TestHTTPServerAndClient(t *testing.T) {
+	set := tracegen.HighVolatility(9).Slice(0, 12*trace.Hour)
+	srv := httptest.NewServer(Handler(set, testEpoch))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL}
+	got, epoch, err := c.Fetch(context.Background(), time.Time{}, time.Time{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumZones() != 3 {
+		t.Fatalf("zones = %d", got.NumZones())
+	}
+	if !epoch.Equal(testEpoch) {
+		t.Fatalf("epoch = %v", epoch)
+	}
+
+	// Bounded fetch.
+	start := testEpoch.Add(2 * time.Hour)
+	end := testEpoch.Add(6 * time.Hour)
+	bounded, _, err := c.Fetch(context.Background(), start, end, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Duration() > 6*trace.Hour {
+		t.Fatalf("bounded duration = %d", bounded.Duration())
+	}
+
+	// Errors.
+	resp, err := srv.Client().Get(srv.URL + "/spot-price-history?start=garbage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad start → %d", resp.StatusCode)
+	}
+	outside := testEpoch.Add(1000 * time.Hour)
+	if _, _, err := c.Fetch(context.Background(), outside, outside.Add(time.Hour), 0); err == nil {
+		t.Fatal("accepted out-of-range window")
+	}
+}
+
+func TestClientBadServer(t *testing.T) {
+	c := &Client{BaseURL: "http://127.0.0.1:1"}
+	if _, _, err := c.Fetch(context.Background(), time.Time{}, time.Time{}, 0); err == nil {
+		t.Fatal("expected connection error")
+	}
+}
+
+func TestHandlerRejectsNonGet(t *testing.T) {
+	set := tracegen.LowVolatility(2).Slice(0, 2*trace.Hour)
+	srv := httptest.NewServer(Handler(set, testEpoch))
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/spot-price-history", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("POST → %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHandlerBadEnd(t *testing.T) {
+	set := tracegen.LowVolatility(2).Slice(0, 2*trace.Hour)
+	srv := httptest.NewServer(Handler(set, testEpoch))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/spot-price-history?end=garbage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad end → %d, want 400", resp.StatusCode)
+	}
+}

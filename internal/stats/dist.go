@@ -1,0 +1,88 @@
+package stats
+
+import "math"
+
+// Distribution functions used by the harness's significance tests:
+// the standard normal CDF (Mann-Whitney's normal approximation) and
+// the F distribution CDF via the regularised incomplete beta function
+// (Granger causality tests in the VAR analysis).
+
+// NormalCDF returns P(Z ≤ x) for a standard normal Z.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// RegIncompleteBeta returns the regularised incomplete beta function
+// I_x(a, b) for a, b > 0 and x in [0, 1], via the continued-fraction
+// expansion (Lentz's algorithm), the standard numerical approach.
+func RegIncompleteBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	case a <= 0 || b <= 0:
+		return math.NaN()
+	}
+	// Symmetry: use the expansion on the side where it converges fast.
+	if x > (a+1)/(a+b+2) {
+		return 1 - RegIncompleteBeta(b, a, 1-x)
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+
+	// Lentz's continued fraction.
+	const (
+		eps     = 1e-14
+		tiny    = 1e-30
+		maxIter = 500
+	)
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= maxIter; i++ {
+		m := float64(i / 2)
+		var numerator float64
+		switch {
+		case i == 0:
+			numerator = 1
+		case i%2 == 0:
+			numerator = m * (b - m) * x / ((a + 2*m - 1) * (a + 2*m))
+		default:
+			numerator = -(a + m) * (a + b + m) * x / ((a + 2*m) * (a + 2*m + 1))
+		}
+		d = 1 + numerator*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + numerator/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		delta := c * d
+		f *= delta
+		if math.Abs(delta-1) < eps {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// FCDF returns P(F ≤ x) for an F distribution with d1 and d2 degrees of
+// freedom.
+func FCDF(x, d1, d2 float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegIncompleteBeta(d1/2, d2/2, d1*x/(d1*x+d2))
+}
+
+// FSurvival returns the upper tail P(F > x): the p-value of an observed
+// F statistic.
+func FSurvival(x, d1, d2 float64) float64 {
+	return 1 - FCDF(x, d1, d2)
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959964, 0.975},
+		{-1.959964, 0.025},
+		{3, 0.99865},
+		{-5, 2.8665e-7},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalCDF(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncompleteBetaKnownValues(t *testing.T) {
+	cases := []struct{ a, b, x, want float64 }{
+		// I_x(1, 1) = x (uniform distribution).
+		{1, 1, 0.3, 0.3},
+		{1, 1, 0.7, 0.7},
+		// I_x(2, 1) = x².
+		{2, 1, 0.5, 0.25},
+		// I_x(1, 2) = 1 − (1−x)² = 2x − x².
+		{1, 2, 0.5, 0.75},
+		// Symmetry point: I_0.5(a, a) = 0.5.
+		{3, 3, 0.5, 0.5},
+		{7.5, 7.5, 0.5, 0.5},
+		// Edges.
+		{2, 3, 0, 0},
+		{2, 3, 1, 1},
+	}
+	for _, c := range cases {
+		if got := RegIncompleteBeta(c.a, c.b, c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("I_%g(%g,%g) = %g, want %g", c.x, c.a, c.b, got, c.want)
+		}
+	}
+	if !math.IsNaN(RegIncompleteBeta(-1, 2, 0.5)) {
+		t.Error("negative parameter accepted")
+	}
+}
+
+func TestRegIncompleteBetaMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 1.0; x += 0.01 {
+		v := RegIncompleteBeta(2.5, 4.5, x)
+		if v < prev-1e-12 {
+			t.Fatalf("not monotone at x=%g", x)
+		}
+		prev = v
+	}
+}
+
+func TestFCDFKnownValues(t *testing.T) {
+	// Critical values: P(F(1, 10) ≤ 4.965) ≈ 0.95, P(F(5, 20) ≤ 2.711) ≈ 0.95.
+	cases := []struct{ x, d1, d2, want float64 }{
+		{4.965, 1, 10, 0.95},
+		{2.711, 5, 20, 0.95},
+		{1, 10, 10, 0.5},
+	}
+	for _, c := range cases {
+		if got := FCDF(c.x, c.d1, c.d2); math.Abs(got-c.want) > 2e-3 {
+			t.Errorf("FCDF(%g; %g, %g) = %g, want %g", c.x, c.d1, c.d2, got, c.want)
+		}
+	}
+	if FCDF(-1, 2, 2) != 0 {
+		t.Error("negative F accepted")
+	}
+	if got := FSurvival(4.965, 1, 10); math.Abs(got-0.05) > 2e-3 {
+		t.Errorf("FSurvival = %g", got)
+	}
+}
+
+func TestMannWhitneyDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 60)
+	ys := make([]float64, 60)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64() + 1.5 // clearly shifted
+	}
+	res := MannWhitney(xs, ys)
+	if res.P > 1e-6 {
+		t.Fatalf("shift not detected: p = %g", res.P)
+	}
+	if res.EffectSize > 0.3 {
+		t.Fatalf("effect size = %g, expected well below 0.5 (xs smaller)", res.EffectSize)
+	}
+}
+
+func TestMannWhitneyNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	xs := make([]float64, 80)
+	ys := make([]float64, 80)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	res := MannWhitney(xs, ys)
+	if res.P < 0.01 {
+		t.Fatalf("false positive: p = %g", res.P)
+	}
+	if math.Abs(res.EffectSize-0.5) > 0.15 {
+		t.Fatalf("effect size = %g for identical distributions", res.EffectSize)
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	// Heavy ties (all values from a small set) must not panic or yield
+	// NaN; all-equal samples give p = 1.
+	xs := []float64{1, 1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 3, 3}
+	res := MannWhitney(xs, ys)
+	if math.IsNaN(res.P) || res.P < 0 || res.P > 1 {
+		t.Fatalf("tied p = %g", res.P)
+	}
+	same := MannWhitney([]float64{5, 5, 5}, []float64{5, 5})
+	if same.P != 1 {
+		t.Fatalf("all-tied p = %g, want 1", same.P)
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	res := MannWhitney(nil, []float64{1})
+	if res.P != 1 || res.EffectSize != 0.5 {
+		t.Fatalf("degenerate = %+v", res)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	xs := []float64{1, 3, 5, 7}
+	ys := []float64{2, 4, 6, 8}
+	a := MannWhitney(xs, ys)
+	b := MannWhitney(ys, xs)
+	if math.Abs(a.P-b.P) > 1e-12 {
+		t.Fatalf("asymmetric p-values: %g vs %g", a.P, b.P)
+	}
+	if math.Abs(a.EffectSize+b.EffectSize-1) > 1e-12 {
+		t.Fatalf("effect sizes do not complement: %g + %g", a.EffectSize, b.EffectSize)
+	}
+}

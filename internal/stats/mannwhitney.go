@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyResult reports a two-sided Mann-Whitney U test of whether
+// two cost samples come from the same distribution — how the harness
+// checks that, e.g., redundancy's advantage over a single zone in a
+// cell is not tiling noise.
+type MannWhitneyResult struct {
+	// U is the test statistic of the first sample.
+	U float64
+	// Z is the normal approximation z-score (tie-corrected).
+	Z float64
+	// P is the two-sided p-value under the normal approximation.
+	P float64
+	// EffectSize is the common-language effect size U/(n1·n2): the
+	// probability that a random draw from the first sample exceeds one
+	// from the second (ties counted half; 0.5 = indistinguishable).
+	EffectSize float64
+}
+
+// MannWhitney runs the two-sided test on xs vs ys. It returns a zero
+// result with P = 1 for degenerate inputs (either sample empty).
+func MannWhitney(xs, ys []float64) MannWhitneyResult {
+	n1, n2 := float64(len(xs)), float64(len(ys))
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{P: 1, EffectSize: 0.5}
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, len(xs)+len(ys))
+	for _, v := range xs {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range ys {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie correction.
+	ranks := make([]float64, len(all))
+	var tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.first {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - n1*(n1+1)/2
+	n := n1 + n2
+	mean := n1 * n2 / 2
+	variance := n1 * n2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	res := MannWhitneyResult{U: u1, EffectSize: u1 / (n1 * n2)}
+	if variance <= 0 {
+		// All observations tied: no evidence of a difference.
+		res.P = 1
+		return res
+	}
+	// Continuity-corrected z.
+	z := u1 - mean
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	res.Z = z
+	res.P = 2 * (1 - NormalCDF(math.Abs(z)))
+	if res.P > 1 {
+		res.P = 1
+	}
+	return res
+}

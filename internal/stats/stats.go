@@ -1,0 +1,86 @@
+// Package stats provides the descriptive statistics the experiment
+// harness reports: quantiles, five-number boxplot summaries (the
+// paper's figures are boxplots of per-experiment cost), and simple
+// aggregates.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile of xs (0 ≤ q ≤ 1) with linear
+// interpolation between order statistics; NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Box is a five-number boxplot summary with mean and sample count.
+type Box struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+}
+
+// NewBox summarises the samples; an empty input yields a Box of NaNs
+// with N = 0.
+func NewBox(xs []float64) Box {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Box{Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan, Mean: nan}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Box{
+		N:      len(xs),
+		Min:    sorted[0],
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(xs),
+	}
+}
+
+// IQR returns the interquartile range.
+func (b Box) IQR() float64 { return b.Q3 - b.Q1 }

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	// Input is not mutated.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %g", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+}
+
+func TestNewBox(t *testing.T) {
+	b := NewBox([]float64{5, 1, 3, 2, 4})
+	if b.N != 5 || b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Q1 != 2 || b.Q3 != 4 || b.Mean != 3 {
+		t.Fatalf("box = %+v", b)
+	}
+	if b.IQR() != 2 {
+		t.Fatalf("IQR = %g", b.IQR())
+	}
+	empty := NewBox(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Median) {
+		t.Fatalf("empty box = %+v", empty)
+	}
+}
+
+func TestBoxOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				// Bound magnitudes so the mean cannot overflow.
+				xs = append(xs, math.Mod(v, 1e9))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b := NewBox(xs)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max &&
+			b.Mean >= b.Min && b.Mean <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

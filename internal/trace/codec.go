@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Trace serialisation. Two formats are supported:
+//
+//   - CSV with header "time,zone,price": one row per (sample, zone),
+//     matching the shape of the price history files Amazon's
+//     describe-spot-price-history API returns once flattened.
+//   - JSON: a direct encoding of the Set structure.
+//
+// Both round-trip exactly for aligned sets.
+
+type jsonSeries struct {
+	Zone   string    `json:"zone"`
+	Epoch  int64     `json:"epoch"`
+	Step   int64     `json:"step"`
+	Prices []float64 `json:"prices"`
+}
+
+type jsonSet struct {
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON encodes the set as JSON.
+func (t *Set) WriteJSON(w io.Writer) error {
+	out := jsonSet{Series: make([]jsonSeries, len(t.Series))}
+	for i, s := range t.Series {
+		out.Series[i] = jsonSeries{Zone: s.Zone, Epoch: s.Epoch, Step: s.Step, Prices: s.Prices}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON decodes a set from JSON and validates it.
+func ReadJSON(r io.Reader) (*Set, error) {
+	var in jsonSet
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	series := make([]*Series, len(in.Series))
+	for i, s := range in.Series {
+		series[i] = &Series{Zone: s.Zone, Epoch: s.Epoch, Step: s.Step, Prices: s.Prices}
+	}
+	set := &Set{Series: series}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// WriteCSV encodes the set as CSV rows "time,zone,price".
+func (t *Set) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"time", "zone", "price"}); err != nil {
+		return err
+	}
+	for _, s := range t.Series {
+		for i, p := range s.Prices {
+			at := s.Epoch + int64(i)*s.Step
+			rec := []string{
+				strconv.FormatInt(at, 10),
+				s.Zone,
+				strconv.FormatFloat(p, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV decodes a set from CSV rows "time,zone,price". Rows may appear
+// in any order; the sampling step is inferred from the smallest time gap
+// within a zone and every zone must produce an aligned series.
+func ReadCSV(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	if header[0] != "time" || header[1] != "zone" || header[2] != "price" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %v", header)
+	}
+	type sample struct {
+		t int64
+		p float64
+	}
+	byZone := map[string][]sample{}
+	var zoneOrder []string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV: %w", err)
+		}
+		at, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad time %q: %w", rec[0], err)
+		}
+		price, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad price %q: %w", rec[2], err)
+		}
+		if _, ok := byZone[rec[1]]; !ok {
+			zoneOrder = append(zoneOrder, rec[1])
+		}
+		byZone[rec[1]] = append(byZone[rec[1]], sample{t: at, p: price})
+	}
+	if len(zoneOrder) == 0 {
+		return nil, fmt.Errorf("trace: CSV contains no samples")
+	}
+	series := make([]*Series, 0, len(zoneOrder))
+	for _, zone := range zoneOrder {
+		samples := byZone[zone]
+		sort.Slice(samples, func(i, j int) bool { return samples[i].t < samples[j].t })
+		step := int64(0)
+		for i := 1; i < len(samples); i++ {
+			gap := samples[i].t - samples[i-1].t
+			if gap > 0 && (step == 0 || gap < step) {
+				step = gap
+			}
+		}
+		if step == 0 {
+			step = DefaultStep
+		}
+		prices := make([]float64, len(samples))
+		for i, sm := range samples {
+			want := samples[0].t + int64(i)*step
+			if sm.t != want {
+				return nil, fmt.Errorf("trace: zone %q is not uniformly sampled at t=%d (want %d)", zone, sm.t, want)
+			}
+			prices[i] = sm.p
+		}
+		series = append(series, &Series{Zone: zone, Epoch: samples[0].t, Step: step, Prices: prices})
+	}
+	set := &Set{Series: series}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleSet() *Set {
+	return MustNewSet(
+		mkSeries("us-east-1a", 600, 0.3, 0.4, 0.5),
+		mkSeries("us-east-1b", 600, 0.9, 0.8, 0.7),
+	)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	set := sampleSet()
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	assertSetsEqual(t, set, got)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	set := sampleSet()
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	assertSetsEqual(t, set, got)
+}
+
+func assertSetsEqual(t *testing.T, want, got *Set) {
+	t.Helper()
+	if got.NumZones() != want.NumZones() {
+		t.Fatalf("zones = %d, want %d", got.NumZones(), want.NumZones())
+	}
+	for i, ws := range want.Series {
+		gs := got.Series[i]
+		if gs.Zone != ws.Zone || gs.Epoch != ws.Epoch || gs.Step != ws.Step {
+			t.Fatalf("series %d header = %+v, want %+v", i, gs, ws)
+		}
+		if len(gs.Prices) != len(ws.Prices) {
+			t.Fatalf("series %d length = %d, want %d", i, len(gs.Prices), len(ws.Prices))
+		}
+		for j := range ws.Prices {
+			if gs.Prices[j] != ws.Prices[j] {
+				t.Fatalf("series %d price %d = %g, want %g", i, j, gs.Prices[j], ws.Prices[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad header", "a,b,c\n"},
+		{"empty body", "time,zone,price\n"},
+		{"bad time", "time,zone,price\nxx,z,0.3\n"},
+		{"bad price", "time,zone,price\n0,z,xx\n"},
+		{"non-uniform", "time,zone,price\n0,z,0.3\n300,z,0.4\n900,z,0.5\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: ReadCSV accepted bad input", c.name)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("ReadJSON accepted truncated JSON")
+	}
+	// Valid JSON, invalid set (negative price).
+	bad := `{"series":[{"zone":"z","epoch":0,"step":300,"prices":[-1]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("ReadJSON accepted a negative price")
+	}
+}
+
+func TestReadCSVSingleSampleDefaultsStep(t *testing.T) {
+	set, err := ReadCSV(strings.NewReader("time,zone,price\n0,z,0.3\n"))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if set.Step() != DefaultStep {
+		t.Fatalf("Step = %d, want default %d", set.Step(), DefaultStep)
+	}
+}

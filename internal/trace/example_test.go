@@ -1,0 +1,22 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// ExampleSeries_UpIntervals shows the availability view behind the
+// paper's Figure 2: intervals during which a bid would hold a spot
+// instance.
+func ExampleSeries_UpIntervals() {
+	s := trace.NewSeries("us-east-1a", 0, []float64{0.30, 0.30, 0.95, 0.40})
+	for _, iv := range s.UpIntervals(0.81) {
+		fmt.Printf("up %d..%d\n", iv.Start, iv.End)
+	}
+	fmt.Printf("availability %.0f%%\n", 100*s.UpFraction(0.81))
+	// Output:
+	// up 0..600
+	// up 900..1200
+	// availability 75%
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the CSV decoder against arbitrary inputs: it
+// must never panic, and any accepted input must round-trip.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	_ = sampleSet().WriteCSV(&seed)
+	f.Add(seed.String())
+	f.Add("time,zone,price\n0,a,0.3\n")
+	f.Add("time,zone,price\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		set, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("ReadCSV accepted an invalid set: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := set.WriteCSV(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.NumZones() != set.NumZones() || again.Duration() != set.Duration() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadJSON exercises the JSON decoder similarly.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	_ = sampleSet().WriteJSON(&seed)
+	f.Add(seed.String())
+	f.Add(`{"series":[{"zone":"z","epoch":0,"step":300,"prices":[0.3]}]}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		set, err := ReadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid set: %v", err)
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package trace
+
+// HourOfDayProfile returns the mean price per hour of day (24 entries):
+// the seasonality view of a price history. Real spot markets show a
+// demand-driven daily cycle (the paper sampled its queuing-delay
+// measurements at 7 am and 7 pm for the same reason); the generator can
+// reproduce it via ZoneConfig.DiurnalAmplitude and this profile
+// verifies either its presence or its absence.
+func (s *Series) HourOfDayProfile() [24]float64 {
+	var sums, counts [24]float64
+	for i, p := range s.Prices {
+		hod := (s.Epoch + int64(i)*s.Step) % (24 * 3600) / 3600
+		if hod < 0 {
+			hod += 24
+		}
+		sums[hod] += p
+		counts[hod]++
+	}
+	var out [24]float64
+	for h := range out {
+		if counts[h] > 0 {
+			out[h] = sums[h] / counts[h]
+		}
+	}
+	return out
+}
+
+// SeasonalityIndex summarises the daily cycle strength: the relative
+// spread (max − min) / mean of the hour-of-day profile. A flat market
+// scores near 0.
+func (s *Series) SeasonalityIndex() float64 {
+	profile := s.HourOfDayProfile()
+	min, max, sum := profile[0], profile[0], 0.0
+	for _, v := range profile {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	mean := sum / 24
+	if mean == 0 {
+		return 0
+	}
+	return (max - min) / mean
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHourOfDayProfile(t *testing.T) {
+	// Two days: $0.20 during hours 0-11, $0.40 during hours 12-23.
+	var prices []float64
+	for d := 0; d < 2; d++ {
+		for h := 0; h < 24; h++ {
+			v := 0.20
+			if h >= 12 {
+				v = 0.40
+			}
+			for i := 0; i < 12; i++ {
+				prices = append(prices, v)
+			}
+		}
+	}
+	s := NewSeries("z", 0, prices)
+	profile := s.HourOfDayProfile()
+	if math.Abs(profile[3]-0.20) > 1e-9 || math.Abs(profile[15]-0.40) > 1e-9 {
+		t.Fatalf("profile = %v", profile)
+	}
+	// Index = (0.40-0.20)/0.30 ≈ 0.667.
+	if idx := s.SeasonalityIndex(); math.Abs(idx-0.2/0.3) > 1e-9 {
+		t.Fatalf("index = %g", idx)
+	}
+}
+
+func TestSeasonalityFlat(t *testing.T) {
+	prices := make([]float64, 12*48)
+	for i := range prices {
+		prices[i] = 0.30
+	}
+	s := NewSeries("z", 0, prices)
+	if idx := s.SeasonalityIndex(); idx != 0 {
+		t.Fatalf("flat index = %g", idx)
+	}
+}
+
+func TestSeasonalityNegativeEpochSafe(t *testing.T) {
+	s := NewSeries("z", -7200, []float64{0.3, 0.3, 0.3})
+	profile := s.HourOfDayProfile()
+	for _, v := range profile {
+		if v < 0 {
+			t.Fatal("negative profile entry")
+		}
+	}
+}

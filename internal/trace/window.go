@@ -1,0 +1,58 @@
+package trace
+
+// Window extraction for the experiment harness. The paper (§5) runs 80
+// experiments over "partially overlapping chunks" of each volatility
+// window; Windows produces exactly that tiling.
+
+// Window is one experiment chunk cut from a longer trace, together with
+// the history that precedes it (used to bootstrap the Markov model and
+// the Adaptive policy, which the paper primes with 2 days of history).
+type Window struct {
+	// Index is the position of this window in the tiling.
+	Index int
+	// Run is the trace visible to the experiment, starting at the
+	// experiment start time.
+	Run *Set
+	// History is the trace preceding Run (may span zero seconds when
+	// the window starts at the head of the parent trace).
+	History *Set
+}
+
+// Windows cuts count windows of runLength seconds from the set, spaced
+// evenly so that they partially overlap when count*runLength exceeds the
+// available span. Each window carries up to historyLength seconds of
+// preceding trace. The final window always ends at the end of the parent
+// trace. It returns fewer windows when the trace is too short to hold
+// even one.
+func (t *Set) Windows(count int, runLength, historyLength int64) []Window {
+	if count <= 0 || runLength <= 0 {
+		return nil
+	}
+	total := t.Duration()
+	if total < runLength {
+		return nil
+	}
+	step := t.Step()
+	span := total - runLength // span of possible start offsets
+	var out []Window
+	for i := 0; i < count; i++ {
+		var off int64
+		if count == 1 {
+			off = 0
+		} else {
+			off = span * int64(i) / int64(count-1)
+		}
+		off = off / step * step // align to sampling grid
+		start := t.Start() + off
+		histStart := start - historyLength
+		if histStart < t.Start() {
+			histStart = t.Start()
+		}
+		out = append(out, Window{
+			Index:   i,
+			Run:     t.Slice(start, start+runLength),
+			History: t.Slice(histStart, start),
+		})
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package trace
+
+import "testing"
+
+func longSet(samples int) *Set {
+	prices := make([]float64, samples)
+	for i := range prices {
+		prices[i] = 0.3 + float64(i%7)*0.01
+	}
+	return MustNewSet(NewSeries("a", 0, prices))
+}
+
+func TestWindowsTiling(t *testing.T) {
+	set := longSet(1000) // 1000*300s
+	runLen := int64(100 * 300)
+	histLen := int64(50 * 300)
+	ws := set.Windows(10, runLen, histLen)
+	if len(ws) != 10 {
+		t.Fatalf("got %d windows, want 10", len(ws))
+	}
+	for i, w := range ws {
+		if w.Index != i {
+			t.Fatalf("window %d has index %d", i, w.Index)
+		}
+		if w.Run.Duration() != runLen {
+			t.Fatalf("window %d run duration = %d, want %d", i, w.Run.Duration(), runLen)
+		}
+		if w.History.End() != w.Run.Start() {
+			t.Fatalf("window %d history ends at %d, run starts at %d", i, w.History.End(), w.Run.Start())
+		}
+		if w.History.Duration() > histLen {
+			t.Fatalf("window %d history too long: %d", i, w.History.Duration())
+		}
+	}
+	// First window starts at trace start; last ends at trace end.
+	if ws[0].Run.Start() != set.Start() {
+		t.Fatalf("first window starts at %d", ws[0].Run.Start())
+	}
+	if ws[len(ws)-1].Run.End() != set.End() {
+		t.Fatalf("last window ends at %d, want %d", ws[len(ws)-1].Run.End(), set.End())
+	}
+	// Consecutive windows overlap (10 windows of 100 samples over 1000).
+	if ws[1].Run.Start() >= ws[0].Run.End() {
+		t.Log("windows do not overlap; acceptable for this tiling but unexpected")
+	}
+}
+
+func TestWindowsDegenerate(t *testing.T) {
+	set := longSet(10)
+	if ws := set.Windows(0, 300, 0); ws != nil {
+		t.Fatal("count=0 should produce nil")
+	}
+	if ws := set.Windows(5, 0, 0); ws != nil {
+		t.Fatal("runLength=0 should produce nil")
+	}
+	if ws := set.Windows(5, set.Duration()+300, 0); ws != nil {
+		t.Fatal("too-long run should produce nil")
+	}
+	ws := set.Windows(1, set.Duration(), 0)
+	if len(ws) != 1 || ws[0].Run.Duration() != set.Duration() {
+		t.Fatalf("single full window wrong: %+v", ws)
+	}
+	if ws[0].History.Duration() != 0 {
+		t.Fatalf("expected empty history, got %d", ws[0].History.Duration())
+	}
+}
+
+func TestWindowsOverlapCoverage(t *testing.T) {
+	// 80 windows as in the paper: every start offset aligned to the grid.
+	set := longSet(2000)
+	ws := set.Windows(80, int64(400*300), int64(100*300))
+	if len(ws) != 80 {
+		t.Fatalf("got %d windows", len(ws))
+	}
+	for _, w := range ws {
+		if (w.Run.Start()-set.Start())%set.Step() != 0 {
+			t.Fatalf("window %d start %d not grid-aligned", w.Index, w.Run.Start())
+		}
+	}
+}

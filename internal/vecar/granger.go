@@ -1,0 +1,140 @@
+package vecar
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// GrangerResult reports one Granger-causality F test: whether the
+// lagged history of the cause series improves the prediction of the
+// effect series beyond the effect's own history (and the other zones').
+// The paper's §3.1 observation is precisely this combination: cross-zone
+// dependencies carry some statistical significance, while their effect
+// sizes stay 1–2 orders of magnitude below same-zone dependence.
+type GrangerResult struct {
+	// Cause and Effect are series indices.
+	Cause, Effect int
+	// F is the test statistic; P its upper-tail p-value under
+	// F(lag, T − k) where k counts unrestricted parameters.
+	F, P float64
+	// RSSRestricted and RSSUnrestricted are the residual sums of
+	// squares without and with the cause's lags.
+	RSSRestricted, RSSUnrestricted float64
+}
+
+// Significant reports whether the test rejects at the given level.
+func (g GrangerResult) Significant(alpha float64) bool { return g.P < alpha }
+
+// GrangerTest tests whether series[cause] Granger-causes
+// series[effect] at the given lag, conditioning on every series' lags
+// (the standard VAR-based formulation).
+func GrangerTest(series [][]float64, effect, cause, lag int) (GrangerResult, error) {
+	k := len(series)
+	if effect < 0 || effect >= k || cause < 0 || cause >= k {
+		return GrangerResult{}, fmt.Errorf("vecar: series index out of range")
+	}
+	if cause == effect {
+		return GrangerResult{}, fmt.Errorf("vecar: cause and effect must differ")
+	}
+	if lag < 1 {
+		return GrangerResult{}, fmt.Errorf("vecar: lag %d must be >= 1", lag)
+	}
+	n := len(series[0])
+	obs := n - lag
+	paramsU := 1 + k*lag
+	if obs <= paramsU {
+		return GrangerResult{}, fmt.Errorf("%w: %d observations for %d parameters", ErrTooShort, obs, paramsU)
+	}
+
+	// Unrestricted: all series' lags. Restricted: drop the cause's.
+	rssU, err := equationRSS(series, effect, lag, -1)
+	if err != nil {
+		return GrangerResult{}, err
+	}
+	rssR, err := equationRSS(series, effect, lag, cause)
+	if err != nil {
+		return GrangerResult{}, err
+	}
+	res := GrangerResult{Cause: cause, Effect: effect, RSSRestricted: rssR, RSSUnrestricted: rssU}
+	df2 := float64(obs - paramsU)
+	if rssU <= 0 {
+		// A perfect unrestricted fit: any improvement is degenerate;
+		// report no evidence rather than dividing by zero.
+		res.P = 1
+		return res, nil
+	}
+	res.F = ((rssR - rssU) / float64(lag)) / (rssU / df2)
+	if res.F < 0 {
+		res.F = 0 // numerical noise on near-identical fits
+	}
+	res.P = stats.FSurvival(res.F, float64(lag), df2)
+	return res, nil
+}
+
+// equationRSS fits series[effect](t) on a constant and the lags of all
+// series (omitting series drop entirely when drop >= 0) and returns the
+// residual sum of squares.
+func equationRSS(series [][]float64, effect, lag, drop int) (float64, error) {
+	k := len(series)
+	n := len(series[0])
+	obs := n - lag
+	cols := 1 + (k-boolToInt(drop >= 0))*lag
+	z := mat.New(obs, cols)
+	y := mat.New(obs, 1)
+	for t := 0; t < obs; t++ {
+		z.Set(t, 0, 1)
+		col := 1
+		for l := 1; l <= lag; l++ {
+			for j := 0; j < k; j++ {
+				if j == drop {
+					continue
+				}
+				z.Set(t, col, series[j][lag+t-l])
+				col++
+			}
+		}
+		y.Set(t, 0, series[effect][lag+t])
+	}
+	beta, err := mat.LeastSquares(z, y)
+	if err != nil {
+		return 0, fmt.Errorf("vecar: granger OLS failed: %w", err)
+	}
+	resid := z.Mul(beta).Sub(y)
+	var rss float64
+	for _, v := range resid.Data {
+		rss += v * v
+	}
+	return rss, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// GrangerMatrix runs the test for every ordered pair (cause ≠ effect).
+func GrangerMatrix(series [][]float64, lag int) ([]GrangerResult, error) {
+	var out []GrangerResult
+	for effect := range series {
+		for cause := range series {
+			if cause == effect {
+				continue
+			}
+			g, err := GrangerTest(series, effect, cause, lag)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
+// GrangerMatrixSet runs GrangerMatrix over a trace set's zones.
+func (m *Model) GrangerMatrixSeries(series [][]float64) ([]GrangerResult, error) {
+	return GrangerMatrix(series, m.Lag)
+}

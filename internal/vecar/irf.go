@@ -1,0 +1,79 @@
+package vecar
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ImpulseResponse returns the VAR's moving-average coefficients
+// Φ_0 … Φ_horizon: Φ_h[i][j] is the response of zone i, h steps after a
+// unit shock to zone j. Φ_0 = I and Φ_h = Σ_{l=1..min(h,p)} A_l·Φ_{h−l},
+// the standard recursion. For the paper's §3.1 story the interesting
+// quantity is how little of a shock crosses zones: see CrossImpact.
+func (m *Model) ImpulseResponse(horizon int) ([]*mat.Matrix, error) {
+	if horizon < 0 {
+		return nil, fmt.Errorf("vecar: negative horizon")
+	}
+	out := make([]*mat.Matrix, horizon+1)
+	out[0] = mat.Identity(m.K)
+	for h := 1; h <= horizon; h++ {
+		phi := mat.New(m.K, m.K)
+		for l := 1; l <= m.Lag && l <= h; l++ {
+			phi = phi.Add(m.Coef[l-1].Mul(out[h-l]))
+		}
+		out[h] = phi
+	}
+	return out, nil
+}
+
+// CrossImpact summarises an impulse-response set as the cumulative
+// absolute response, split into same-zone (a shock's echo in its own
+// zone) and cross-zone components, plus their ratio — the
+// impulse-domain counterpart of Dependence.
+type CrossImpact struct {
+	SelfTotal  float64
+	CrossTotal float64
+	// Ratio is SelfTotal / CrossTotal (+Inf when cross is zero).
+	Ratio float64
+}
+
+// CrossImpact computes the summary over the given horizon.
+func (m *Model) CrossImpact(horizon int) (CrossImpact, error) {
+	irf, err := m.ImpulseResponse(horizon)
+	if err != nil {
+		return CrossImpact{}, err
+	}
+	var c CrossImpact
+	for _, phi := range irf[1:] { // Φ_0 = I carries no information
+		for i := 0; i < m.K; i++ {
+			for j := 0; j < m.K; j++ {
+				v := math.Abs(phi.At(i, j))
+				if i == j {
+					c.SelfTotal += v
+				} else {
+					c.CrossTotal += v
+				}
+			}
+		}
+	}
+	if c.CrossTotal == 0 {
+		c.Ratio = math.Inf(1)
+	} else {
+		c.Ratio = c.SelfTotal / c.CrossTotal
+	}
+	return c, nil
+}
+
+// Stable reports whether the impulse responses die out over the given
+// horizon (the largest entry of the final Φ is below tol) — a sanity
+// check that the fitted VAR describes a mean-reverting market rather
+// than an explosive one.
+func (m *Model) Stable(horizon int, tol float64) (bool, error) {
+	irf, err := m.ImpulseResponse(horizon)
+	if err != nil {
+		return false, err
+	}
+	return irf[horizon].MaxAbs() < tol, nil
+}
