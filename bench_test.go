@@ -55,6 +55,7 @@ func printFirst(name string, f func()) {
 // availability over a 15-hour high-volatility window.
 func BenchmarkFig2Availability(b *testing.B) {
 	s := suite()
+	b.ReportAllocs()
 	var frac float64
 	for i := 0; i < b.N; i++ {
 		res, err := s.Fig2(experiment.RegimeHigh, 5*24*trace.Hour, 0)
@@ -71,6 +72,7 @@ func BenchmarkFig2Availability(b *testing.B) {
 // a 12-month composite trace.
 func BenchmarkVARAnalysis(b *testing.B) {
 	s := suite()
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		res, err := s.VarAnalysis(4)
@@ -92,6 +94,7 @@ func BenchmarkFig4Policies(b *testing.B) {
 		for _, slack := range experiment.Slacks {
 			name := fmt.Sprintf("%s-slack%.0f%%", regime, slack*100)
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				var median float64
 				for i := 0; i < b.N; i++ {
 					cell, err := s.Fig4(regime, slack, 300, nil)
@@ -115,6 +118,7 @@ func BenchmarkTable3(b *testing.B) { benchTable(b, 900) }
 
 func benchTable(b *testing.B, tc int64) {
 	s := suite()
+	b.ReportAllocs()
 	var median float64
 	for i := 0; i < b.N; i++ {
 		rows, err := s.Table(tc)
@@ -135,6 +139,7 @@ func BenchmarkFig5Adaptive(b *testing.B) {
 		for _, tc := range experiment.CheckpointCosts {
 			name := fmt.Sprintf("%s-tc%d", regime, tc)
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				var median float64
 				for i := 0; i < b.N; i++ {
 					cell, err := s.Fig5(regime, experiment.Slacks[0], tc)
@@ -154,6 +159,7 @@ func BenchmarkFig5Adaptive(b *testing.B) {
 // thresholds versus Adaptive on the spike-bearing low-volatility window.
 func BenchmarkFig6LargeBid(b *testing.B) {
 	s := experiment.NewQuickSuite(9, 30) // dense tiling so windows hit the spike
+	b.ReportAllocs()
 	var worst float64
 	for i := 0; i < b.N; i++ {
 		cell, err := s.Fig6(experiment.RegimeLowSpike, experiment.Slacks[0], 300)
@@ -169,6 +175,7 @@ func BenchmarkFig6LargeBid(b *testing.B) {
 // BenchmarkHeadline computes the paper-vs-measured headline claims.
 func BenchmarkHeadline(b *testing.B) {
 	s := suite()
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		h, err := s.Headline()
@@ -185,6 +192,7 @@ func BenchmarkHeadline(b *testing.B) {
 // and the Adaptive-to-oracle gap (an analysis beyond the paper).
 func BenchmarkOracleGap(b *testing.B) {
 	s := suite()
+	b.ReportAllocs()
 	var medianBound float64
 	for i := 0; i < b.N; i++ {
 		bounds, err := s.OracleBounds(experiment.RegimeHigh, experiment.Slacks[0])
@@ -230,6 +238,7 @@ func BenchmarkAblationQueueDelay(b *testing.B) {
 		{"none", market.FixedDelay(0)},
 	} {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var cost float64
 			for i := 0; i < b.N; i++ {
 				res, err := sim.Run(ablationConfig(c.delay), core.Redundant(core.NewMarkovDaly(), 0.81, []int{0, 1, 2}))
@@ -252,6 +261,7 @@ func BenchmarkAblationDalyOrder(b *testing.B) {
 			name = "daly"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var cost float64
 			for i := 0; i < b.N; i++ {
 				pol := core.NewMarkovDaly()
@@ -272,6 +282,7 @@ func BenchmarkAblationDalyOrder(b *testing.B) {
 func BenchmarkAblationZones(b *testing.B) {
 	for n := 1; n <= 3; n++ {
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			zones := make([]int, n)
 			for i := range zones {
 				zones[i] = i
@@ -299,6 +310,7 @@ func BenchmarkAblationAdaptiveTriggers(b *testing.B) {
 			name = "hours-only"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var cost float64
 			for i := 0; i < b.N; i++ {
 				a := core.NewAdaptive()
@@ -330,6 +342,7 @@ func BenchmarkAblationBidChooser(b *testing.B) {
 	requiredRate := float64(cfg.Work) / float64(cfg.Deadline)
 
 	b.Run("analytic", func(b *testing.B) {
+		b.ReportAllocs()
 		var cost float64
 		for i := 0; i < b.N; i++ {
 			rec, err := opt.BestBid(chain, core.BidGrid(), opt.Overheads{
@@ -349,6 +362,7 @@ func BenchmarkAblationBidChooser(b *testing.B) {
 		b.ReportMetric(cost, "cost-$")
 	})
 	b.Run("simulated", func(b *testing.B) {
+		b.ReportAllocs()
 		var cost float64
 		for i := 0; i < b.N; i++ {
 			a := core.NewAdaptive()
@@ -362,6 +376,7 @@ func BenchmarkAblationBidChooser(b *testing.B) {
 		b.ReportMetric(cost, "cost-$")
 	})
 	b.Run("adaptive-analytic", func(b *testing.B) {
+		b.ReportAllocs()
 		var cost float64
 		for i := 0; i < b.N; i++ {
 			a := core.NewAdaptive()
@@ -382,6 +397,7 @@ func BenchmarkAblationBidChooser(b *testing.B) {
 func BenchmarkAblationEdgeFamily(b *testing.B) {
 	for _, kind := range []string{"edge", "threshold", "changepoint"} {
 		b.Run(kind, func(b *testing.B) {
+			b.ReportAllocs()
 			var cost float64
 			var ckpts int
 			for i := 0; i < b.N; i++ {
@@ -436,5 +452,43 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tracegen.HighVolatility(uint64(i))
+	}
+}
+
+// BenchmarkAdaptiveDecision times one full Adaptive run over a volatile
+// day — dominated by the permutation searches at each decision point,
+// i.e. the Evaluator's pooled parallel replays.
+func BenchmarkAdaptiveDecision(b *testing.B) {
+	cfg := ablationConfig(market.FixedDelay(300))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, core.NewAdaptive()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineReset times re-arming a pooled machine and driving a
+// full single-zone run on it, the Evaluator's steady-state replay cycle;
+// allocs/op is the headline (a fresh NewMachine pays the full engine
+// allocation every run).
+func BenchmarkMachineReset(b *testing.B) {
+	cfg := ablationConfig(market.FixedDelay(300))
+	m, err := sim.AcquireMachine(cfg, core.SingleZone(core.NewPeriodic(), 0.81, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sim.ReleaseMachine(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Reset(cfg, core.SingleZone(core.NewPeriodic(), 0.81, 0)); err != nil {
+			b.Fatal(err)
+		}
+		for !m.Done() {
+			if err := m.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/pool"
 	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -36,8 +37,12 @@ func main() {
 	slack := flag.Float64("slack", 0.15, "slack fraction")
 	tc := flag.Int64("tc", 300, "checkpoint cost in seconds")
 	format := flag.String("format", "csv", "output format: csv, or json (a replay archive for later re-analysis)")
+	workers := flag.Int("workers", 0, "worker pool size; 0 selects GOMAXPROCS")
 	flag.Parse()
 
+	if *format != "csv" && *format != "json" {
+		log.Fatalf("unknown format %q", *format)
+	}
 	s := experiment.NewQuickSuite(*seed, *windows)
 	set := s.Regime(*preset)
 
@@ -83,17 +88,26 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	for _, j := range jobs {
+	// Run the whole grid across the shared worker pool into indexed
+	// slots, then emit rows in grid order so the output is byte-identical
+	// to a sequential sweep.
+	results := make([]*sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	pool.Run(*workers, len(jobs), func(i int) {
+		j := jobs[i]
 		cfg := s.Config(j.window, *slack, *tc)
 		zones := make([]int, j.n)
-		for i := range zones {
-			zones[i] = i
+		for zi := range zones {
+			zones[zi] = zi
 		}
 		strat := core.NewStatic(j.kind, sim.RunSpec{Bid: j.bid, Zones: zones, Policy: experiment.NewPolicy(j.kind)})
-		res, err := sim.Run(cfg, strat)
-		if err != nil {
-			log.Fatal(err)
+		results[i], errs[i] = sim.Run(cfg, strat)
+	})
+	for i, j := range jobs {
+		if errs[i] != nil {
+			log.Fatal(errs[i])
 		}
+		res := results[i]
 		switch *format {
 		case "json":
 			archive.Add(replay.FromResult(res, *preset, *slack, *tc, j.bid, j.n, j.window.Index))

@@ -61,6 +61,10 @@ type Adaptive struct {
 	// magnitude faster per decision; the candidate policy is always
 	// Markov-Daly, whose assumptions the analytic model shares.
 	Analytic bool
+	// Eval is the evaluation service the permutation search runs on;
+	// nil selects a default evaluator with GOMAXPROCS workers. Results
+	// are independent of the worker count.
+	Eval *Evaluator
 
 	chosen sim.RunSpec
 }
@@ -179,33 +183,13 @@ type estimate struct {
 	costRate     float64 // dollars per wall second
 }
 
-// measure replays the permutation over the history window with the real
-// engine (deadline guard disabled, effectively unbounded work) and
-// extracts its progress and cost rates.
-func measure(hist *trace.Set, spec sim.RunSpec, tc, tr int64) estimate {
-	const huge = int64(1) << 40
-	cfg := sim.Config{
-		Trace:                hist,
-		Work:                 huge,
-		Deadline:             huge,
-		CheckpointCost:       tc,
-		RestartCost:          tr,
-		Delay:                market.FixedDelay(300),
-		Seed:                 7,
-		DisableDeadlineGuard: true,
+// evaluator returns the strategy's evaluation service, building the
+// default lazily.
+func (a *Adaptive) evaluator() *Evaluator {
+	if a.Eval == nil {
+		a.Eval = NewEvaluator()
 	}
-	res, err := sim.Run(cfg, NewStatic("estimate", spec))
-	if err != nil {
-		return estimate{}
-	}
-	span := float64(hist.Duration())
-	if span <= 0 {
-		return estimate{}
-	}
-	return estimate{
-		progressRate: float64(res.MaxProgress) / span,
-		costRate:     res.Cost / span,
-	}
+	return a.Eval
 }
 
 // predictCost applies Inequality (1): given the permutation's rates,
@@ -263,43 +247,37 @@ type candidate struct {
 }
 
 // analyticCandidates scores permutations with the closed-form chain
-// model instead of engine replays. Per zone it fits one chain on the
-// trailing history and analyses each bid; redundancy combines zones as
-// a union of effective rates (optimistic for correlated zones, which
-// the generator keeps weak) and sums their cost rates.
+// model instead of engine replays. The evaluator fits one chain per
+// zone on the trailing history and analyses every (zone, bid) pair
+// exactly once across its worker pool; redundancy combines zones as a
+// union of effective rates (optimistic for correlated zones, which the
+// generator keeps weak) and sums their cost rates.
 func (a *Adaptive) analyticCandidates(env *sim.Env, ordered []int, cr, tr, migration int64) []candidate {
 	ov := opt.Overheads{
 		CheckpointCost: float64(env.CheckpointCost()),
 		RestartCost:    float64(env.RestartCost()),
 		QueueDelay:     300,
 	}
-	span := markov.DefaultHistory
-	chains := make(map[int]*markov.Model, len(env.Zones))
-	for zi := range env.Zones {
-		hist := markov.Quantize(env.PriceHistory(zi, span), 0.05)
-		if m, err := markov.Fit(hist, env.Step); err == nil {
-			chains[zi] = m
-		}
-	}
+	bids := a.bids()
+	zones := a.evaluator().AnalyzeZones(env, bids, markov.DefaultHistory, 0.05, ov)
 	var out []candidate
 	for n := 1; n <= a.maxZones(env); n++ {
-		zones := append([]int(nil), ordered[:n]...)
-		sort.Ints(zones)
-		for _, bid := range a.bids() {
+		zs := append([]int(nil), ordered[:n]...)
+		sort.Ints(zs)
+		for bi, bid := range bids {
 			var costRate float64 // $/s across all paid zones
 			missRate := 1.0      // Π(1 − effRate_z)
-			for _, zi := range zones {
-				m, ok := chains[zi]
-				if !ok {
+			for _, zi := range zs {
+				if !zones[zi].ok {
 					continue
 				}
-				an := opt.Analyze(m, bid, ov)
+				an := zones[zi].analyses[bi]
 				costRate += an.Availability * an.MeanPaidPrice / float64(trace.Hour)
 				missRate *= 1 - an.EffectiveRate
 			}
 			est := estimate{progressRate: 1 - missRate, costRate: costRate}
 			out = append(out, candidate{
-				spec: sim.RunSpec{Bid: bid, Zones: zones, Policy: NewMarkovDaly()},
+				spec: sim.RunSpec{Bid: bid, Zones: zs, Policy: NewMarkovDaly()},
 				kind: "markov-daly",
 				n:    n,
 				cost: predictCost(est, cr, tr, migration),
@@ -307,6 +285,53 @@ func (a *Adaptive) analyticCandidates(env *sim.Env, ordered []int, cr, tr, migra
 		}
 	}
 	return out
+}
+
+// replayCandidates scores the full B × N × policy permutation grid by
+// engine replay: the candidate grid is laid out in deterministic order,
+// the evaluator measures every permutation in parallel on pooled
+// machines, and Markov-Daly candidates share one predictor cache so
+// identical chains are fitted once instead of once per permutation.
+func (a *Adaptive) replayCandidates(env *sim.Env, hist *trace.Set, ordered []int, cr, tr, migration int64, cache *PredictorCache) []candidate {
+	var cands []candidate
+	var specs []sim.RunSpec
+	for _, fac := range a.candidates() {
+		for n := 1; n <= a.maxZones(env); n++ {
+			zones := append([]int(nil), ordered[:n]...)
+			sort.Ints(zones)
+			for _, bid := range a.bids() {
+				cands = append(cands, candidate{
+					spec: sim.RunSpec{Bid: bid, Zones: zones, Policy: fac.New()},
+					kind: fac.Kind,
+					n:    n,
+				})
+				if hist != nil {
+					specs = append(specs, sim.RunSpec{Bid: bid, Zones: zones, Policy: withSharedCache(fac.New(), cache)})
+				}
+			}
+		}
+	}
+	if hist == nil {
+		for i := range cands {
+			cands[i].cost = predictCost(estimate{}, cr, tr, migration)
+		}
+		return cands
+	}
+	ests := a.evaluator().MeasureAll(hist, specs, env.CheckpointCost(), env.RestartCost())
+	for i := range cands {
+		cands[i].cost = predictCost(ests[i], cr, tr, migration)
+	}
+	return cands
+}
+
+// withSharedCache attaches the decision point's predictor cache to
+// policies that can use one (estimation-replay instances only; the
+// spec instances a switch would install stay cache-free).
+func withSharedCache(p sim.CheckpointPolicy, cache *PredictorCache) sim.CheckpointPolicy {
+	if md, ok := p.(*MarkovDaly); ok && cache != nil {
+		return md.withCache(cache)
+	}
+	return p
 }
 
 // pick evaluates every permutation and returns the least-predicted-cost
@@ -317,25 +342,13 @@ func (a *Adaptive) pick(env *sim.Env) sim.RunSpec {
 	cr := env.RemainingWork()
 	tr := env.RemainingTime()
 	migration := env.CheckpointCost() + env.RestartCost() + env.Step
+	cache := NewPredictorCache()
 
 	var cands []candidate
 	if a.Analytic {
 		cands = a.analyticCandidates(env, ordered, cr, tr, migration)
 	} else {
-		for _, fac := range a.candidates() {
-			for n := 1; n <= a.maxZones(env); n++ {
-				zones := append([]int(nil), ordered[:n]...)
-				sort.Ints(zones)
-				for _, bid := range a.bids() {
-					spec := sim.RunSpec{Bid: bid, Zones: zones, Policy: fac.New()}
-					var est estimate
-					if hist != nil {
-						est = measure(hist, sim.RunSpec{Bid: bid, Zones: zones, Policy: fac.New()}, env.CheckpointCost(), env.RestartCost())
-					}
-					cands = append(cands, candidate{spec: spec, kind: fac.Kind, n: n, cost: predictCost(est, cr, tr, migration)})
-				}
-			}
-		}
+		cands = a.replayCandidates(env, hist, ordered, cr, tr, migration, cache)
 	}
 	var best *candidate
 	minCost := math.Inf(1)
@@ -368,7 +381,7 @@ func (a *Adaptive) pick(env *sim.Env) sim.RunSpec {
 	// Keep the current configuration when it predicts within a hair of
 	// the best, avoiding churn from estimation noise.
 	if len(a.chosen.Zones) > 0 && !best.spec.Equal(a.chosen) {
-		cur := a.evalSpec(env, hist, a.chosen, cr, tr, migration)
+		cur := a.evalSpec(env, hist, a.chosen, cr, tr, migration, cache)
 		if cur <= best.cost*1.02 {
 			return a.chosen
 		}
@@ -377,13 +390,14 @@ func (a *Adaptive) pick(env *sim.Env) sim.RunSpec {
 }
 
 // evalSpec predicts the remaining cost of an existing spec (re-using
-// its policy kind with a fresh instance).
-func (a *Adaptive) evalSpec(env *sim.Env, hist *trace.Set, spec sim.RunSpec, cr, tr, migration int64) float64 {
+// its policy kind with a fresh instance, sharing the decision point's
+// predictor cache).
+func (a *Adaptive) evalSpec(env *sim.Env, hist *trace.Set, spec sim.RunSpec, cr, tr, migration int64, cache *PredictorCache) float64 {
 	if hist == nil {
 		return math.Inf(1)
 	}
-	fresh := sim.RunSpec{Bid: spec.Bid, Zones: spec.Zones, Policy: clonePolicy(spec.Policy)}
-	est := measure(hist, fresh, env.CheckpointCost(), env.RestartCost())
+	fresh := sim.RunSpec{Bid: spec.Bid, Zones: spec.Zones, Policy: withSharedCache(clonePolicy(spec.Policy), cache)}
+	est := a.evaluator().Measure(hist, fresh, env.CheckpointCost(), env.RestartCost())
 	return predictCost(est, cr, tr, migration)
 }
 

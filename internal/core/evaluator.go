@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/market"
+	"repro/internal/markov"
+	"repro/internal/opt"
+	"repro/internal/pool"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Evaluator is the reusable evaluation core behind the Adaptive scheme:
+// it replays candidate (bid, zone set, policy) permutations over a
+// history window on pooled simulation machines, fanning the replays out
+// across a bounded worker pool, and computes the closed-form chain
+// analyses of the Analytic variant the same way. Results are returned
+// in input order, so a parallel evaluation is bit-for-bit identical to
+// a sequential one. The zero value is ready to use; an Evaluator is
+// safe for concurrent use by multiple goroutines.
+type Evaluator struct {
+	// Workers bounds the evaluation fan-out; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// NewEvaluator returns an evaluator with default parallelism.
+func NewEvaluator() *Evaluator { return &Evaluator{} }
+
+// estimationSeed fixes the queuing-delay stream of every estimation
+// replay, as the original measure helper did.
+const estimationSeed = 7
+
+// estimationCfg builds the guard-disabled replay configuration for a
+// history window.
+func estimationCfg(hist *trace.Set, tc, tr int64) sim.Config {
+	const huge = int64(1) << 40
+	return sim.Config{
+		Trace:                hist,
+		Work:                 huge,
+		Deadline:             huge,
+		CheckpointCost:       tc,
+		RestartCost:          tr,
+		Delay:                market.FixedDelay(300),
+		Seed:                 estimationSeed,
+		DisableDeadlineGuard: true,
+	}
+}
+
+// Measure replays one permutation over the history window on a pooled
+// machine (deadline guard disabled, effectively unbounded work) and
+// extracts its progress and cost rates. A nil or empty history yields a
+// zero estimate.
+func (ev *Evaluator) Measure(hist *trace.Set, spec sim.RunSpec, tc, tr int64) estimate {
+	if hist == nil {
+		return estimate{}
+	}
+	span := float64(hist.Duration())
+	if span <= 0 {
+		return estimate{}
+	}
+	var est estimate
+	err := sim.RunPooled(estimationCfg(hist, tc, tr), NewStatic("estimate", spec), func(res *sim.Result) {
+		est = estimate{
+			progressRate: float64(res.MaxProgress) / span,
+			costRate:     res.Cost / span,
+		}
+	})
+	if err != nil {
+		return estimate{}
+	}
+	return est
+}
+
+// MeasureAll replays every permutation over the history window across
+// the worker pool and returns their estimates in input order. Each spec
+// must carry its own policy instance (policies hold run state); policy
+// instances may share a thread-safe PredictorCache.
+func (ev *Evaluator) MeasureAll(hist *trace.Set, specs []sim.RunSpec, tc, tr int64) []estimate {
+	out := make([]estimate, len(specs))
+	pool.Run(ev.Workers, len(specs), func(i int) {
+		out[i] = ev.Measure(hist, specs[i], tc, tr)
+	})
+	return out
+}
+
+// zoneAnalysis holds the fitted chain and per-bid closed-form analyses
+// of one zone at one decision point.
+type zoneAnalysis struct {
+	ok       bool
+	analyses []opt.Analysis // indexed like the bid grid
+}
+
+// AnalyzeZones fits one chain per zone on the trailing history visible
+// at env.Now and computes the closed-form opt.Analysis for every (zone,
+// bid) pair across the worker pool — each pair exactly once, where the
+// sequential Analytic path recomputed shared zones for every redundancy
+// degree. The result is indexed [zone][bid]; zones whose history cannot
+// fit a chain are marked not-ok.
+func (ev *Evaluator) AnalyzeZones(env *sim.Env, bids []float64, span int64, quantum float64, ov opt.Overheads) []zoneAnalysis {
+	nz := len(env.Zones)
+	out := make([]zoneAnalysis, nz)
+	chains := make([]*markov.Model, nz)
+	pool.Run(ev.Workers, nz, func(zi int) {
+		hist := markov.Quantize(env.PriceHistory(zi, span), quantum)
+		if m, err := markov.Fit(hist, env.Step); err == nil {
+			chains[zi] = m
+		}
+	})
+	// Flatten (zone, bid) pairs so the heavy stationary-distribution
+	// solves run in parallel; slot i maps back deterministically.
+	nb := len(bids)
+	analyses := make([]opt.Analysis, nz*nb)
+	pool.Run(ev.Workers, nz*nb, func(i int) {
+		zi, bi := i/nb, i%nb
+		if chains[zi] == nil {
+			return
+		}
+		analyses[i] = opt.Analyze(chains[zi], bids[bi], ov)
+	})
+	for zi := 0; zi < nz; zi++ {
+		out[zi] = zoneAnalysis{ok: chains[zi] != nil, analyses: analyses[zi*nb : (zi+1)*nb]}
+	}
+	return out
+}
+
+// PredictorCache memoizes the prediction models the Adaptive scheme's
+// Markov-Daly candidates build during estimation replays: fitted price
+// chains per (zone, time) and Daly checkpoint intervals per (time, bid,
+// zone set). Every permutation of one decision point replays the same
+// history window, so without the cache each of them refits identical
+// chains at identical replay times. The cache is safe for concurrent
+// use; scope one cache to a single decision point (entries are keyed by
+// absolute time, so stale entries are never returned, only unused).
+type PredictorCache struct {
+	mu        sync.Mutex
+	chains    map[chainKey]*markov.Model
+	intervals map[intervalKey]float64
+}
+
+// NewPredictorCache returns an empty cache.
+func NewPredictorCache() *PredictorCache {
+	return &PredictorCache{
+		chains:    make(map[chainKey]*markov.Model),
+		intervals: make(map[intervalKey]float64),
+	}
+}
+
+// chainKey identifies one fitted chain: everything markov.Fit's input
+// depends on inside an estimation replay over a fixed trace.
+type chainKey struct {
+	zone    int
+	now     int64
+	span    int64
+	quantum float64
+}
+
+// intervalKey identifies one Daly interval: everything the Markov-Daly
+// schedule computation depends on inside a replay over a fixed trace.
+type intervalKey struct {
+	now    int64
+	bid    float64
+	tc     int64
+	higher bool
+	zones  uint64 // packed zone indices
+}
+
+// packZones encodes up to eight zone indices (< 256 each) into one key
+// word; zone sets beyond that fall back to an unpacked sentinel that
+// simply disables interval caching.
+func packZones(zones []int) (uint64, bool) {
+	if len(zones) > 8 {
+		return 0, false
+	}
+	var key uint64
+	for i, zi := range zones {
+		if zi < 0 || zi > 0xfe {
+			return 0, false
+		}
+		key |= uint64(zi+1) << (8 * i)
+	}
+	return key, true
+}
+
+// chain returns the cached fitted model for the key, fitting and
+// storing it on first use via fit. A fit failure is cached as nil.
+func (c *PredictorCache) chain(key chainKey, fit func() *markov.Model) *markov.Model {
+	c.mu.Lock()
+	m, ok := c.chains[key]
+	c.mu.Unlock()
+	if ok {
+		return m
+	}
+	// Fit outside the lock: fits are deterministic, so concurrent
+	// duplicate work is harmless and the winner is value-identical.
+	m = fit()
+	c.mu.Lock()
+	if prev, ok := c.chains[key]; ok {
+		m = prev
+	} else {
+		c.chains[key] = m
+	}
+	c.mu.Unlock()
+	return m
+}
+
+// interval returns the cached Daly interval for the key, computing and
+// storing it on first use via compute.
+func (c *PredictorCache) interval(key intervalKey, compute func() float64) float64 {
+	c.mu.Lock()
+	v, ok := c.intervals[key]
+	c.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = compute()
+	c.mu.Lock()
+	c.intervals[key] = v
+	c.mu.Unlock()
+	return v
+}

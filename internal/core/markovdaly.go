@@ -25,7 +25,20 @@ type MarkovDaly struct {
 	// Young's first-order one; the ablation bench flips this.
 	HigherOrder bool
 
+	// cache, when set, memoizes fitted chains and computed intervals
+	// across the policy instances of one Adaptive decision point (every
+	// permutation replays the same history window, so their model
+	// inputs coincide). Set by Adaptive via withCache; nil keeps the
+	// original fit-per-call behaviour.
+	cache *PredictorCache
+
 	ts int64 // scheduled checkpoint time T_s
+}
+
+// withCache attaches a shared predictor cache and returns the policy.
+func (m *MarkovDaly) withCache(c *PredictorCache) *MarkovDaly {
+	m.cache = c
+	return m
 }
 
 // NewMarkovDaly returns the policy with the paper's defaults.
@@ -59,8 +72,29 @@ func (m *MarkovDaly) schedule(env *sim.Env) {
 }
 
 // interval returns Daly's optimal checkpoint interval in seconds for
-// the current configuration.
+// the current configuration. With a predictor cache attached, the
+// result — and the fitted chains behind it — are memoized per decision
+// time, so sibling permutations of one Adaptive decision point compute
+// each model exactly once.
 func (m *MarkovDaly) interval(env *sim.Env) float64 {
+	if m.cache != nil {
+		if packed, ok := packZones(env.Spec.Zones); ok {
+			key := intervalKey{
+				now:    env.Now,
+				bid:    env.Spec.Bid,
+				tc:     env.CheckpointCost(),
+				higher: m.HigherOrder,
+				zones:  packed,
+			}
+			return m.cache.interval(key, func() float64 { return m.computeInterval(env) })
+		}
+	}
+	return m.computeInterval(env)
+}
+
+// computeInterval fits (or fetches) the per-zone chains and applies
+// Daly's estimate to their combined expected uptime.
+func (m *MarkovDaly) computeInterval(env *sim.Env) float64 {
 	span := m.HistorySpan
 	if span <= 0 {
 		span = markov.DefaultHistory
@@ -68,9 +102,8 @@ func (m *MarkovDaly) interval(env *sim.Env) float64 {
 	models := make([]*markov.Model, 0, len(env.Spec.Zones))
 	prices := make([]float64, 0, len(env.Spec.Zones))
 	for _, zi := range env.Spec.Zones {
-		hist := markov.Quantize(env.PriceHistory(zi, span), m.Quantum)
-		mod, err := markov.Fit(hist, env.Step)
-		if err != nil {
+		mod := m.fitZone(env, zi, span)
+		if mod == nil {
 			continue
 		}
 		models = append(models, mod)
@@ -85,4 +118,22 @@ func (m *MarkovDaly) interval(env *sim.Env) float64 {
 		return daly.Optimal(tc, mtbf)
 	}
 	return daly.Young(tc, mtbf)
+}
+
+// fitZone fits the zone's chain on the trailing span of history,
+// through the shared cache when one is attached; nil reports an
+// unfittable (empty) history.
+func (m *MarkovDaly) fitZone(env *sim.Env, zi int, span int64) *markov.Model {
+	fit := func() *markov.Model {
+		hist := markov.Quantize(env.PriceHistory(zi, span), m.Quantum)
+		mod, err := markov.Fit(hist, env.Step)
+		if err != nil {
+			return nil
+		}
+		return mod
+	}
+	if m.cache == nil {
+		return fit()
+	}
+	return m.cache.chain(chainKey{zone: zi, now: env.Now, span: span, quantum: m.Quantum}, fit)
 }

@@ -7,10 +7,10 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/market"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -163,37 +163,12 @@ func (s *Suite) Config(w trace.Window, slack float64, tc int64) sim.Config {
 	}
 }
 
-// parallel runs fn(0..n-1) across the worker pool and waits.
+// parallel runs fn(0..n-1) across the shared worker pool and waits.
+// A panicking task does not deadlock the batch: pool.Run drains the
+// remaining work and re-raises the panic (annotated with the item
+// index) on this goroutine.
 func (s *Suite) parallel(n int, fn func(i int)) {
-	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	pool.Run(s.Workers, n, fn)
 }
 
 // OnDemandReferenceCost is the grey line of every figure: the cost of

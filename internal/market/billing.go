@@ -78,6 +78,22 @@ func (l *Ledger) Add(e Entry) {
 // Total returns the accumulated cost in dollars.
 func (l *Ledger) Total() float64 { return l.total }
 
+// Clone returns a deep copy whose entry slice shares nothing with the
+// receiver; callers holding a pooled machine's result use it to keep
+// the ledger past the machine's release.
+func (l *Ledger) Clone() Ledger {
+	return Ledger{Entries: append([]Entry(nil), l.Entries...), total: l.total}
+}
+
+// Reset empties the ledger in place, keeping the entry slice's backing
+// array for reuse. Any previously shared copy of the Ledger struct
+// aliases that array, so reset only ledgers whose results have been
+// consumed (the sim machine pool's contract).
+func (l *Ledger) Reset() {
+	l.Entries = l.Entries[:0]
+	l.total = 0
+}
+
 // SpotTotal returns the cost of spot hours only.
 func (l *Ledger) SpotTotal() float64 {
 	var t float64

@@ -1,0 +1,118 @@
+// Package pool is the repository's one bounded worker-pool primitive.
+// The experiment suite's sweep runner, the Adaptive scheme's
+// permutation evaluator and the sweep/paperfigs commands all fan work
+// out through Run, so concurrency policy — worker bounding, panic
+// propagation, deterministic slot assignment — lives in exactly one
+// place.
+//
+// Run assigns item indices to workers dynamically (work stealing via an
+// atomic counter), so which goroutine executes fn(i) is not
+// deterministic — but every fn(i) runs exactly once, and callers write
+// results into slot i of a pre-sized slice, which keeps batch results
+// bit-for-bit reproducible regardless of scheduling.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// TaskPanic is the value re-panicked on the caller's goroutine when a
+// worker's fn(i) panics: it annotates the original panic value with the
+// item index and the worker's stack trace, which the bare panic loses
+// once it crosses goroutines.
+type TaskPanic struct {
+	// Index is the item whose fn panicked.
+	Index int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker's stack trace.
+	Stack []byte
+}
+
+// Error implements error so a recovered TaskPanic reads well in logs.
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("pool: task %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// String implements fmt.Stringer.
+func (p *TaskPanic) String() string { return p.Error() }
+
+// Run executes fn(0..n-1) across at most workers goroutines and waits
+// for completion. workers <= 0 selects GOMAXPROCS; a single worker (or
+// n <= 1) runs inline on the caller's goroutine. If any fn panics, the
+// pool stops handing out further items, waits for in-flight items, and
+// re-panics exactly once on the caller's goroutine with a *TaskPanic
+// annotating the item index — it never deadlocks callers or kills the
+// process from an anonymous goroutine.
+func Run(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		// Inline: panics propagate naturally on the caller's goroutine,
+		// but annotate them identically to the parallel path.
+		for i := 0; i < n; i++ {
+			runOne(i, fn)
+		}
+		return
+	}
+
+	var (
+		next   atomic.Int64 // next item index to hand out
+		failed atomic.Bool  // a worker panicked: stop dispatching
+		once   sync.Once
+		caught *TaskPanic
+		wg     sync.WaitGroup
+	)
+	worker := func() {
+		defer wg.Done()
+		for !failed.Load() {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if tp := capture(i, fn); tp != nil {
+				once.Do(func() { caught = tp })
+				failed.Store(true)
+				return
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if caught != nil {
+		panic(caught)
+	}
+}
+
+// runOne invokes fn(i) inline, annotating a panic with the item index.
+func runOne(i int, fn func(i int)) {
+	if tp := capture(i, fn); tp != nil {
+		panic(tp)
+	}
+}
+
+// capture invokes fn(i), converting a panic into a *TaskPanic.
+func capture(i int, fn func(i int)) (tp *TaskPanic) {
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			tp = &TaskPanic{Index: i, Value: v, Stack: buf}
+		}
+	}()
+	fn(i)
+	return nil
+}

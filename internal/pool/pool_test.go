@@ -1,0 +1,87 @@
+package pool
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 153
+		hits := make([]int32, n)
+		Run(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunZeroAndNegativeN(t *testing.T) {
+	Run(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	Run(4, -3, func(int) { t.Fatal("fn called for n<0") })
+}
+
+func TestRunPanicPropagatesWithIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				tp, ok := v.(*TaskPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *TaskPanic", workers, v)
+				}
+				if tp.Index != 5 {
+					t.Errorf("workers=%d: Index = %d, want 5", workers, tp.Index)
+				}
+				if tp.Value != "boom" {
+					t.Errorf("workers=%d: Value = %v, want boom", workers, tp.Value)
+				}
+				if !strings.Contains(tp.Error(), "task 5 panicked: boom") {
+					t.Errorf("workers=%d: Error() = %q lacks annotation", workers, tp.Error())
+				}
+				if len(tp.Stack) == 0 {
+					t.Errorf("workers=%d: missing stack trace", workers)
+				}
+			}()
+			Run(workers, 16, func(i int) {
+				if i == 5 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// TestRunPanicDoesNotDeadlock exercises the historical failure mode of
+// the experiment suite's bespoke pool: every worker panicking while the
+// dispatcher still had items to send. The atomic-counter pool must
+// return (by panicking on the caller) rather than hang.
+func TestRunPanicDoesNotDeadlock(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }()
+		Run(4, 10_000, func(i int) { panic(i) })
+	}()
+	<-done
+}
+
+func TestRunStopsDispatchAfterPanic(t *testing.T) {
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		Run(2, 100_000, func(i int) {
+			ran.Add(1)
+			panic("first")
+		})
+	}()
+	if got := ran.Load(); got > 100 {
+		t.Errorf("pool kept dispatching after panic: %d items ran", got)
+	}
+}

@@ -3,7 +3,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"strconv"
 
 	"repro/internal/market"
@@ -13,12 +12,15 @@ import (
 // call advances the Algorithm 1 state machine by a single 5-minute
 // interval. Run drives a Machine to completion over a fixed trace; the
 // live scheduler drives one in wall-clock time over a trace that grows
-// as price updates arrive.
+// as price updates arrive. A finished Machine can be re-armed for a new
+// run with Reset, which reuses every internal buffer.
 type Machine struct {
 	env         *Env
 	strat       Strategy
 	pendingSpec *RunSpec
+	specBuf     RunSpec
 	result      *Result
+	events      []Event
 }
 
 // ErrNoData reports that the machine's trace does not yet cover the
@@ -30,42 +32,47 @@ var ErrNoData = errors.New("sim: trace does not cover the next step")
 // initial spec, and returns a machine positioned at the first step. A
 // zero-zone spec (the on-demand baseline) completes immediately.
 func NewMachine(cfg Config, strat Strategy) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
+	m := &Machine{}
+	if err := m.Reset(cfg, strat); err != nil {
 		return nil, err
 	}
-	env := &Env{
-		Cfg:       cfg,
-		Step:      cfg.Trace.Step(),
-		StartTime: cfg.Trace.Start(),
-		rng:       rand.New(rand.NewPCG(cfg.Seed, 0x5eed_0f_de1a75)),
+	return m, nil
+}
+
+// Reset re-arms the machine for a new run without reallocating zone
+// state, the billing ledger, the event scratch buffer or the RNG: a
+// reset machine reproduces a freshly built one bit-for-bit (the run's
+// random stream is reseeded from cfg.Seed). The previous run's Result
+// and Env aliased the machine's internal buffers, so both must be fully
+// consumed — or cloned — before Reset is called.
+func (m *Machine) Reset(cfg Config, strat Strategy) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	env.Now = env.StartTime
-	env.LastCheckpointAt = env.StartTime
-	env.LastRestartAt = env.StartTime
-	env.delay = cfg.Delay
-	if env.delay == nil {
-		env.delay = market.DefaultDelay()
+	if m.env == nil {
+		m.env = &Env{}
 	}
-	env.Zones = make([]ZoneState, cfg.Trace.NumZones())
-	for i := range env.Zones {
-		env.Zones[i] = ZoneState{Index: i, Name: cfg.Trace.Series[i].Zone, State: Down}
-	}
+	env := m.env
+	env.reset(cfg)
+	m.strat = strat
+	m.pendingSpec = nil
+	m.result = nil
+	m.events = m.events[:0]
 
 	env.Spec = strat.Begin(env)
 	if err := checkSpec(env, env.Spec); err != nil {
-		return nil, err
+		return err
 	}
 	env.res.Strategy = strat.Name()
 	if env.Spec.Policy != nil {
 		env.res.Policy = env.Spec.Policy.Name()
 		env.Spec.Policy.Reset(env)
 	}
-	m := &Machine{env: env, strat: strat}
 	if len(env.Spec.Zones) == 0 {
 		// Pure on-demand execution: start immediately, run uninterrupted.
 		m.result = finishOnDemand(env)
 	}
-	return m, nil
+	return nil
 }
 
 // Done reports whether the run has finished.
@@ -96,7 +103,7 @@ func (m *Machine) Step() error {
 	}
 	env := m.env
 	cfg := env.Cfg
-	var events []Event
+	events := m.events[:0]
 
 	// Billing: commit completed instance-hours, noting boundaries.
 	for zi := range env.Zones {
@@ -170,14 +177,17 @@ func (m *Machine) Step() error {
 		}
 	}
 
-	// Strategy decision points (the Adaptive triggers).
+	// Strategy decision points (the Adaptive triggers). The event slice
+	// is the machine's scratch buffer, reused across steps; strategies
+	// must not retain it.
+	m.events = events
 	if len(events) > 0 {
 		if spec, ok := m.strat.Reconsider(env, events); ok && !spec.Equal(env.Spec) {
 			if err := checkSpec(env, spec); err != nil {
 				return err
 			}
-			sp := spec
-			m.pendingSpec = &sp
+			m.specBuf = spec
+			m.pendingSpec = &m.specBuf
 		}
 	}
 	// Apply a requested switch, committing uncommitted progress through
@@ -195,7 +205,11 @@ func (m *Machine) Step() error {
 	// Policy hooks.
 	if env.AnyUp() {
 		if rel, ok := env.Spec.Policy.(Releaser); ok {
-			for _, z := range env.UpZones() {
+			for _, zi := range env.Spec.Zones {
+				z := &env.Zones[zi]
+				if z.State != Up {
+					continue
+				}
 				if env.ck != nil && env.ck.zone == z.Index {
 					continue // release after the checkpoint lands
 				}
@@ -214,7 +228,11 @@ func (m *Machine) Step() error {
 	}
 
 	// Compute over [Now, Now+Step) on every up zone (line 38).
-	for _, z := range env.UpZones() {
+	for _, zi := range env.Spec.Zones {
+		z := &env.Zones[zi]
+		if z.State != Up {
+			continue
+		}
 		activeStart := env.Now
 		if z.BusyUntil > activeStart {
 			activeStart = z.BusyUntil
@@ -257,15 +275,24 @@ func (m *Machine) FinishEstimation() *Result {
 }
 
 // Run executes one experiment under the given strategy and returns its
-// result. The run is deterministic for a fixed configuration.
+// result. The run is deterministic for a fixed configuration. It is a
+// thin wrapper over the Machine stepper; callers running many
+// configurations back to back should prefer a pooled machine
+// (AcquireMachine / ReleaseMachine) to amortise allocations.
 func Run(cfg Config, strat Strategy) (*Result, error) {
 	m, err := NewMachine(cfg, strat)
 	if err != nil {
 		return nil, err
 	}
+	return m.runToCompletion()
+}
+
+// runToCompletion drives the machine until the run finishes, closing
+// out guard-disabled estimation runs at the end of their trace.
+func (m *Machine) runToCompletion() (*Result, error) {
 	for !m.Done() {
 		if !m.HasData() {
-			if !cfg.DisableDeadlineGuard {
+			if !m.env.Cfg.DisableDeadlineGuard {
 				return nil, errors.New("sim: trace ended before the deadline guard fired; deadline must fit the trace window")
 			}
 			// Estimation runs end with the trace; close out billing.
@@ -280,15 +307,15 @@ func Run(cfg Config, strat Strategy) (*Result, error) {
 
 // checkSpec validates a strategy-provided spec.
 func checkSpec(env *Env, spec RunSpec) error {
-	seen := map[int]bool{}
-	for _, zi := range spec.Zones {
+	for i, zi := range spec.Zones {
 		if zi < 0 || zi >= len(env.Zones) {
 			return fmt.Errorf("sim: spec zone index %d out of range", zi)
 		}
-		if seen[zi] {
-			return fmt.Errorf("sim: spec repeats zone %d", zi)
+		for _, zj := range spec.Zones[:i] {
+			if zj == zi {
+				return fmt.Errorf("sim: spec repeats zone %d", zi)
+			}
 		}
-		seen[zi] = true
 	}
 	if len(spec.Zones) > 0 && spec.Policy == nil {
 		return errors.New("sim: spec has zones but no policy")
@@ -299,8 +326,13 @@ func checkSpec(env *Env, spec RunSpec) error {
 	return nil
 }
 
-// rateFn returns the spot price lookup for a zone's billing meter.
+// rateFn returns the spot price lookup for a zone's billing meter,
+// cached per zone so the hot billing path does not allocate a closure
+// every step.
 func (e *Env) rateFn(zone int) func(int64) float64 {
+	if zone < len(e.rateFns) && e.rateFns[zone] != nil {
+		return e.rateFns[zone]
+	}
 	return func(t int64) float64 { return e.Price(zone, t) }
 }
 
@@ -365,7 +397,8 @@ func (e *Env) promote(z *ZoneState) {
 // it reports whether any request was submitted.
 func (e *Env) startWaiting() bool {
 	any := false
-	for _, z := range e.ActiveZones() {
+	for _, zi := range e.Spec.Zones {
+		z := &e.Zones[zi]
 		if z.State != Waiting || !e.mayStart(z.Index) {
 			continue
 		}
@@ -385,8 +418,9 @@ func (e *Env) startWaiting() bool {
 // zone, if it has anything uncommitted.
 func (e *Env) beginCheckpoint() {
 	var leader *ZoneState
-	for _, z := range e.UpZones() {
-		if z.BusyUntil > e.Now {
+	for _, zi := range e.Spec.Zones {
+		z := &e.Zones[zi]
+		if z.State != Up || z.BusyUntil > e.Now {
 			continue
 		}
 		if leader == nil || z.Progress > leader.Progress {
@@ -405,7 +439,8 @@ func (e *Env) beginCheckpoint() {
 	if snap <= e.Committed {
 		return
 	}
-	e.ck = &checkpoint{zone: leader.Index, endsAt: e.Now + e.Cfg.CheckpointCost, snap: snap}
+	e.ckBuf = checkpoint{zone: leader.Index, endsAt: e.Now + e.Cfg.CheckpointCost, snap: snap}
+	e.ck = &e.ckBuf
 	leader.BusyUntil = e.ck.endsAt
 	e.timeline(TLCheckpointStart, leader.Index, "")
 	if e.Cfg.CheckpointCost == 0 {

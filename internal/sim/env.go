@@ -59,12 +59,66 @@ type Env struct {
 	// LastRestartAt is when instances last (re)started.
 	LastRestartAt int64
 
-	ledger market.Ledger
-	rng    *rand.Rand
-	delay  market.DelayModel
-	ck     *checkpoint
-	res    Result
+	ledger  market.Ledger
+	rng     *rand.Rand
+	pcg     *rand.PCG
+	delay   market.DelayModel
+	ck      *checkpoint
+	ckBuf   checkpoint
+	res     Result
+	rateFns []func(int64) float64
 }
+
+// reset re-initialises the environment for a new run in place, reusing
+// the zone slice, ledger backing array, timeline buffer, cached billing
+// closures and RNG allocated by previous runs. The caller must have
+// validated cfg.
+func (e *Env) reset(cfg Config) {
+	e.Cfg = cfg
+	e.Spec = RunSpec{}
+	e.Step = cfg.Trace.Step()
+	e.StartTime = cfg.Trace.Start()
+	e.Now = e.StartTime
+	e.Committed = 0
+	e.LastCheckpointAt = e.StartTime
+	e.LastRestartAt = e.StartTime
+	if e.pcg == nil {
+		e.pcg = rand.NewPCG(cfg.Seed, rngStream)
+		e.rng = rand.New(e.pcg)
+	} else {
+		e.pcg.Seed(cfg.Seed, rngStream)
+	}
+	e.delay = cfg.Delay
+	if e.delay == nil {
+		e.delay = market.DefaultDelay()
+	}
+	e.ck = nil
+	e.ledger.Reset()
+	tl := e.res.Timeline[:0]
+	e.res = Result{}
+	e.res.Timeline = tl
+
+	nz := cfg.Trace.NumZones()
+	if cap(e.Zones) < nz {
+		e.Zones = make([]ZoneState, nz)
+		e.rateFns = make([]func(int64) float64, nz)
+	}
+	e.Zones = e.Zones[:nz]
+	e.rateFns = e.rateFns[:nz]
+	for i := range e.Zones {
+		e.Zones[i] = ZoneState{Index: i, Name: cfg.Trace.Series[i].Zone, State: Down}
+		if e.rateFns[i] == nil {
+			zi := i
+			e.rateFns[i] = func(t int64) float64 { return e.Price(zi, t) }
+		}
+	}
+}
+
+// rngStream is the fixed second PCG seed word of every run's private
+// random stream; reseeding a pooled engine with the same (Seed,
+// rngStream) pair reproduces the stream of a freshly built one
+// bit-for-bit.
+const rngStream = 0x5eed_0f_de1a75
 
 // Rand returns the run's deterministic random stream.
 func (e *Env) Rand() *rand.Rand { return e.rng }
@@ -114,7 +168,11 @@ func (e *Env) PriceHistory(zone int, span int64) []float64 {
 	if from < lo {
 		from = lo
 	}
-	var out []float64
+	n := (e.Now-from)/e.Step + 1
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, 0, n)
 	for t := from; t <= e.Now; t += e.Step {
 		out = append(out, e.Price(zone, t))
 	}
@@ -142,13 +200,21 @@ func (e *Env) UpZones() []*ZoneState {
 }
 
 // AnyUp reports whether any active zone is Up.
-func (e *Env) AnyUp() bool { return len(e.UpZones()) > 0 }
+func (e *Env) AnyUp() bool {
+	for _, zi := range e.Spec.Zones {
+		if e.Zones[zi].State == Up {
+			return true
+		}
+	}
+	return false
+}
 
 // Leader returns the Up zone with the most progress, or nil.
 func (e *Env) Leader() *ZoneState {
 	var best *ZoneState
-	for _, z := range e.UpZones() {
-		if best == nil || z.Progress > best.Progress {
+	for _, zi := range e.Spec.Zones {
+		z := &e.Zones[zi]
+		if z.State == Up && (best == nil || z.Progress > best.Progress) {
 			best = z
 		}
 	}

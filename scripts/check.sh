@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Repository gate: vet, build, then the full test suite under the race
+# detector. The suite includes doccheck_test.go (exported-symbol doc
+# coverage) and the golden determinism tests of the replay engine and
+# the parallel permutation evaluator, so a green run certifies both
+# correctness and bit-for-bit reproducibility of the figures.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
