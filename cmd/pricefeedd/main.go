@@ -11,14 +11,13 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"log"
-	"net/http"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/httpx"
 	"repro/internal/spotapi"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -52,26 +51,13 @@ func main() {
 		log.Fatalf("bad -epoch: %v", err)
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           spotapi.Handler(set, epoch),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := httpx.NewServer(*addr, spotapi.Handler(set, epoch))
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	go func() {
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
-		}
-	}()
-
 	log.Printf("serving %s preset (%d zones × %d samples) at http://%s/spot-price-history",
 		*preset, set.NumZones(), set.Series[0].Len(), *addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := httpx.ListenAndServe(ctx, srv, httpx.DefaultGrace); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,203 @@
+// Command quoted serves least-cost execution plans over HTTP: clients
+// POST a job description (work hours, deadline, on-demand price,
+// history window) to /v1/quote and receive the ranked (bid, zones,
+// policy) permutation table computed by replaying the evaluation core
+// over recent spot price history.
+//
+// History comes from a pricefeedd-style endpoint (-feed URL) or a
+// built-in synthetic generator (-preset/-seed). The server is hardened
+// (header/read/idle timeouts), drains gracefully on SIGINT/SIGTERM, and
+// exposes /metrics and /healthz.
+//
+// Usage:
+//
+//	quoted -addr :8081 -preset high -seed 7
+//	quoted -addr :8081 -feed http://localhost:8080
+//	curl -s localhost:8081/v1/quote -d '{"work_hours":20,"deadline_hours":30,"history_window":12}'
+//
+// The built-in load generator measures the service end-to-end over a
+// real listener and prints throughput and latency quantiles:
+//
+//	quoted -selfbench 200 -bench-duration 5s
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpx"
+	"repro/internal/pool"
+	"repro/internal/quote"
+	"repro/internal/spotapi"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quoted: ")
+
+	addr := flag.String("addr", ":8081", "listen address")
+	feed := flag.String("feed", "", "pricefeedd-style history endpoint (overrides -preset)")
+	feedTTL := flag.Duration("feed-ttl", 10*time.Second, "how long a fetched history is reused")
+	preset := flag.String("preset", "high", "synthetic trace preset: low, high, low-spike, year")
+	seed := flag.Uint64("seed", 1, "synthetic generator seed")
+	workers := flag.Int("workers", 0, "evaluation workers per request (0: GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent evaluations admitted (0: 2×GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 1024, "plan cache entries")
+	selfbench := flag.Int("selfbench", 0, "run the load generator with this many concurrent clients instead of serving")
+	benchDur := flag.Duration("bench-duration", 5*time.Second, "load generator run time")
+	flag.Parse()
+
+	var source quote.HistorySource
+	if *feed != "" {
+		source = &quote.FeedSource{Client: &spotapi.Client{BaseURL: *feed}, TTL: *feedTTL}
+	} else {
+		var set *trace.Set
+		switch *preset {
+		case "low":
+			set = tracegen.LowVolatility(*seed)
+		case "high":
+			set = tracegen.HighVolatility(*seed)
+		case "low-spike":
+			set = tracegen.LowVolatilityWithMegaSpike(*seed)
+		case "year":
+			set = tracegen.Year(*seed)
+		default:
+			log.Fatalf("unknown preset %q", *preset)
+		}
+		source = &quote.StaticSource{Set: set}
+	}
+
+	svc := &quote.Service{
+		Source:    source,
+		Eval:      &core.Evaluator{Workers: *workers},
+		Gate:      pool.NewGate(*maxInflight),
+		CacheSize: *cacheSize,
+	}
+	handler := quote.NewHandler(svc)
+
+	if *selfbench > 0 {
+		if err := runSelfbench(svc, handler, *selfbench, *benchDur); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	srv := httpx.NewServer(*addr, handler)
+	log.Printf("serving plans at http://%s/v1/quote (metrics at /metrics)", *addr)
+	if err := httpx.ListenAndServe(ctx, srv, httpx.DefaultGrace); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// benchRequests is the request mix the load generator cycles through:
+// enough distinct shapes to exercise evaluation, coalescing and the
+// cache rather than a single hot key.
+func benchRequests() [][]byte {
+	var out [][]byte
+	for _, work := range []float64{4, 8, 12, 16, 20, 24} {
+		for _, slack := range []float64{1.2, 1.5} {
+			body := fmt.Sprintf(`{"work_hours":%g,"deadline_hours":%g,"history_window":6,"max_zones":2}`,
+				work, work*slack)
+			out = append(out, []byte(body))
+		}
+	}
+	return out
+}
+
+// runSelfbench boots the service on an ephemeral local listener, fires
+// clients concurrent request loops at it for dur, and prints
+// throughput, latency quantiles and cache statistics.
+func runSelfbench(svc *quote.Service, handler http.Handler, clients int, dur time.Duration) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := httpx.NewServer("", handler)
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- httpx.Serve(ctx, srv, ln, httpx.DefaultGrace) }()
+	base := "http://" + ln.Addr().String()
+
+	transport := &http.Transport{MaxIdleConns: clients, MaxIdleConnsPerHost: clients}
+	client := &http.Client{Transport: transport, Timeout: 2 * time.Minute}
+	reqs := benchRequests()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		total     atomic.Int64
+		errs      atomic.Int64
+	)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			var local []time.Duration
+			for i := 0; time.Now().Before(deadline); i++ {
+				body := reqs[(c+i)%len(reqs)]
+				start := time.Now()
+				resp, err := client.Post(base+"/v1/quote", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+				}
+				_, _ = new(bytes.Buffer).ReadFrom(resp.Body)
+				resp.Body.Close()
+				local = append(local, time.Since(start))
+				total.Add(1)
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	cancel()
+	if err := <-serveDone; err != nil {
+		return err
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	q := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)))
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	m := svc.Stats()
+	fmt.Printf("selfbench: %d clients × %s\n", clients, dur)
+	fmt.Printf("  requests      %d (%.0f req/s), errors %d\n",
+		total.Load(), float64(total.Load())/dur.Seconds(), errs.Load())
+	fmt.Printf("  latency       p50 %s  p95 %s  p99 %s\n", q(0.50), q(0.95), q(0.99))
+	fmt.Printf("  cache         hits %d  misses %d  coalesced %d\n",
+		m.CacheHits.Load(), m.CacheMisses.Load(), m.Coalesced.Load())
+	if errs.Load() > 0 {
+		return fmt.Errorf("selfbench: %d failed requests", errs.Load())
+	}
+	return nil
+}

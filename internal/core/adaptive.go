@@ -192,11 +192,16 @@ func (a *Adaptive) evaluator() *Evaluator {
 	return a.Eval
 }
 
-// predictCost applies Inequality (1): given the permutation's rates,
-// the remaining work C_r and the remaining time T_r (less migration
-// overhead), split the schedule between spot and an on-demand tail and
-// return the predicted remaining cost.
+// predictCost applies Inequality (1) at the paper's on-demand rate.
 func predictCost(e estimate, cr, tr int64, migration int64) float64 {
+	return predictCostAt(e, cr, tr, migration, market.OnDemandRate)
+}
+
+// predictCostAt applies Inequality (1): given the permutation's rates,
+// the remaining work C_r and the remaining time T_r (less migration
+// overhead), split the schedule between spot and an on-demand tail at
+// odRate dollars per hour and return the predicted remaining cost.
+func predictCostAt(e estimate, cr, tr int64, migration int64, odRate float64) float64 {
 	if cr <= 0 {
 		return 0
 	}
@@ -204,7 +209,7 @@ func predictCost(e estimate, cr, tr int64, migration int64) float64 {
 	work := float64(cr)
 	if avail <= 0 {
 		// Only on-demand can finish now.
-		return onDemandCost(work)
+		return onDemandCost(work, odRate)
 	}
 	rate := e.progressRate
 	if rate > 1 {
@@ -217,7 +222,7 @@ func predictCost(e estimate, cr, tr int64, migration int64) float64 {
 	if rate >= 1-1e-9 {
 		// Spot is full speed but time is short: the tail is on-demand
 		// either way; price the whole remainder on-demand as a floor.
-		return onDemandCost(work)
+		return onDemandCost(work, odRate)
 	}
 	// Spend t_s on spot, then finish on-demand:
 	// t_s + (work − rate·t_s) = avail  ⇒  t_s = (avail − work)/(1 − rate).
@@ -226,16 +231,17 @@ func predictCost(e estimate, cr, tr int64, migration int64) float64 {
 		ts = 0
 	}
 	odWork := work - rate*ts
-	mixed := e.costRate*ts + onDemandCost(odWork)
+	mixed := e.costRate*ts + onDemandCost(odWork, odRate)
 	// Switching to on-demand immediately is always available; a mixed
 	// schedule that costs more than that is never chosen.
-	return math.Min(mixed, onDemandCost(work))
+	return math.Min(mixed, onDemandCost(work, odRate))
 }
 
-// onDemandCost prices work seconds of on-demand compute.
-func onDemandCost(work float64) float64 {
+// onDemandCost prices work seconds of on-demand compute at odRate
+// dollars per started hour.
+func onDemandCost(work, odRate float64) float64 {
 	hours := math.Ceil(work / float64(trace.Hour))
-	return hours * market.OnDemandRate
+	return hours * odRate
 }
 
 // candidate is one scored (bid, N, policy) permutation.

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/market"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DefaultCheckpointCost is the planning default for t_c = t_r in
+// seconds: the lower of the two costs the paper evaluates (§5).
+const DefaultCheckpointCost int64 = 300
+
+// PlanRequest describes one planning question for Rank: how much work
+// remains, how much wall-clock budget the deadline leaves, and which
+// price history window the candidate permutations should be replayed
+// over. It is the offline (service-facing) form of the question the
+// Adaptive strategy answers at every decision point.
+type PlanRequest struct {
+	// History is the trailing price window the permutations replay.
+	History *trace.Set
+	// Work is the remaining computation C_r in seconds.
+	Work int64
+	// Deadline is the remaining wall-clock budget T_r in seconds.
+	Deadline int64
+	// CheckpointCost and RestartCost are t_c and t_r in seconds.
+	CheckpointCost int64
+	RestartCost    int64
+	// OnDemandRate prices the on-demand fallback in dollars per hour;
+	// 0 selects market.OnDemandRate.
+	OnDemandRate float64
+	// Bids is the candidate bid grid; nil selects BidGrid().
+	Bids []float64
+	// MaxZones bounds the redundancy degree N; 0 selects 3 (clamped to
+	// the zones the history has).
+	MaxZones int
+	// Candidates are the policy families; nil selects
+	// DefaultAdaptiveCandidates().
+	Candidates []PolicyFactory
+}
+
+// Plan is one scored (bid, zones, policy) permutation of a Rank call.
+type Plan struct {
+	// Bid is the spot bid in dollars per hour.
+	Bid float64
+	// Zones names the availability zones the plan runs in; its length
+	// is the redundancy degree N.
+	Zones []string
+	// Policy names the checkpoint policy family.
+	Policy string
+	// PredictedCost is the Inequality (1) remaining-cost prediction in
+	// dollars.
+	PredictedCost float64
+	// ProgressRate is the measured work-seconds-per-wall-second over
+	// the history window.
+	ProgressRate float64
+	// CostRate is the measured spend in dollars per wall-clock hour.
+	CostRate float64
+	// PredictedFinish is the predicted completion time in seconds from
+	// now under the predicted schedule split.
+	PredictedFinish int64
+	// DeadlineMargin is Deadline − PredictedFinish in seconds; negative
+	// margins flag plans whose predicted schedule overruns the budget.
+	DeadlineMargin int64
+}
+
+// validate reports structural errors in a plan request.
+func (req *PlanRequest) validate() error {
+	if req.History == nil || req.History.NumZones() == 0 || req.History.Duration() <= 0 {
+		return errors.New("core: plan request needs a non-empty history window")
+	}
+	if req.Work <= 0 {
+		return fmt.Errorf("core: non-positive remaining work %d", req.Work)
+	}
+	if req.Deadline < req.Work {
+		return fmt.Errorf("core: deadline %d cannot be met: below remaining work %d", req.Deadline, req.Work)
+	}
+	if req.OnDemandRate < 0 {
+		return fmt.Errorf("core: negative on-demand rate %g", req.OnDemandRate)
+	}
+	return nil
+}
+
+// zonesByHistPrice returns the history's zone indices ordered by final
+// observed price, cheapest first (ties by index for determinism) — the
+// offline analogue of the Adaptive strategy's zonesByPrice.
+func zonesByHistPrice(hist *trace.Set) []int {
+	last := hist.PricesAt(hist.End() - 1)
+	idx := make([]int, hist.NumZones())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		px, py := last[idx[x]], last[idx[y]]
+		if px != py {
+			return px < py
+		}
+		return idx[x] < idx[y]
+	})
+	return idx
+}
+
+// predictFinish mirrors predictCostAt's schedule split and returns the
+// predicted completion time in seconds from now: migration plus spot
+// execution at the observed rate when the deadline leaves room, the
+// whole remaining budget when the prediction needs an on-demand tail,
+// and an immediate on-demand restart when spot makes no progress.
+func predictFinish(e estimate, cr, tr, migration int64) int64 {
+	if cr <= 0 {
+		return 0
+	}
+	avail := float64(tr - migration)
+	rate := e.progressRate
+	if rate > 1 {
+		rate = 1
+	}
+	if avail <= 0 || rate <= 0 {
+		// Immediate on-demand restart from the last checkpoint.
+		return migration + cr
+	}
+	work := float64(cr)
+	if rate*avail >= work {
+		return migration + int64(math.Ceil(work/rate))
+	}
+	// A mixed spot/on-demand schedule uses the full remaining budget.
+	return tr
+}
+
+// Rank scores every (bid, zone set, policy) permutation of the request
+// by replaying it over the history window — the Adaptive strategy's
+// §7 permutation search exposed as a standalone planning service — and
+// returns all plans ordered best-first: ascending predicted cost, with
+// ties broken toward bid headroom (higher bid), then fewer zones, then
+// policy name. Markov-Daly candidates share one predictor cache, so
+// identical chains are fitted once. The result depends only on the
+// request (fixed estimation seed, order-preserving fan-out), so
+// identical requests yield identical plans regardless of worker count.
+func (ev *Evaluator) Rank(req PlanRequest) ([]Plan, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	hist := req.History
+	odRate := req.OnDemandRate
+	if odRate == 0 {
+		odRate = market.OnDemandRate
+	}
+	bids := req.Bids
+	if bids == nil {
+		bids = BidGrid()
+	}
+	maxZones := req.MaxZones
+	if maxZones <= 0 {
+		maxZones = 3
+	}
+	if nz := hist.NumZones(); maxZones > nz {
+		maxZones = nz
+	}
+	cands := req.Candidates
+	if cands == nil {
+		cands = DefaultAdaptiveCandidates()
+	}
+
+	ordered := zonesByHistPrice(hist)
+	names := hist.Zones()
+	migration := req.CheckpointCost + req.RestartCost + hist.Step()
+	cache := NewPredictorCache()
+
+	type slot struct {
+		kind  string
+		bid   float64
+		zones []int
+	}
+	var slots []slot
+	var specs []sim.RunSpec
+	for _, fac := range cands {
+		for n := 1; n <= maxZones; n++ {
+			zs := append([]int(nil), ordered[:n]...)
+			sort.Ints(zs)
+			for _, bid := range bids {
+				slots = append(slots, slot{kind: fac.Kind, bid: bid, zones: zs})
+				specs = append(specs, sim.RunSpec{Bid: bid, Zones: zs, Policy: withSharedCache(fac.New(), cache)})
+			}
+		}
+	}
+	ests := ev.MeasureAll(hist, specs, req.CheckpointCost, req.RestartCost)
+
+	plans := make([]Plan, len(slots))
+	for i, sl := range slots {
+		e := ests[i]
+		zoneNames := make([]string, len(sl.zones))
+		for j, zi := range sl.zones {
+			zoneNames[j] = names[zi]
+		}
+		finish := predictFinish(e, req.Work, req.Deadline, migration)
+		plans[i] = Plan{
+			Bid:             sl.bid,
+			Zones:           zoneNames,
+			Policy:          sl.kind,
+			PredictedCost:   predictCostAt(e, req.Work, req.Deadline, migration, odRate),
+			ProgressRate:    e.progressRate,
+			CostRate:        e.costRate * float64(trace.Hour),
+			PredictedFinish: finish,
+			DeadlineMargin:  req.Deadline - finish,
+		}
+	}
+	sort.SliceStable(plans, func(x, y int) bool {
+		a, b := &plans[x], &plans[y]
+		if a.PredictedCost != b.PredictedCost {
+			return a.PredictedCost < b.PredictedCost
+		}
+		if a.Bid != b.Bid {
+			return a.Bid > b.Bid // prefer bid headroom among ties
+		}
+		if len(a.Zones) != len(b.Zones) {
+			return len(a.Zones) < len(b.Zones)
+		}
+		return a.Policy < b.Policy
+	})
+	return plans, nil
+}

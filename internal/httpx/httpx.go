@@ -1,0 +1,77 @@
+// Package httpx centralises the repository's HTTP serving policy so
+// every daemon (cmd/pricefeedd, cmd/quoted) ships the same hardened
+// server: header/read/idle timeouts against slowloris-style slow
+// clients, and context-driven graceful drain so in-flight requests
+// finish before the process exits.
+package httpx
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server timeout policy. ReadHeaderTimeout bounds the slow-header
+// attack, ReadTimeout bounds the whole request read (our request
+// bodies are tiny), IdleTimeout reaps abandoned keep-alive
+// connections. Write timeouts are left to handlers: evaluation
+// latency is load-dependent and bounded by the admission gate instead.
+const (
+	ReadHeaderTimeout = 10 * time.Second
+	ReadTimeout       = 30 * time.Second
+	IdleTimeout       = 120 * time.Second
+	// DefaultGrace is the default drain budget on shutdown.
+	DefaultGrace = 5 * time.Second
+)
+
+// NewServer returns an http.Server with the repository's standard
+// timeouts applied.
+func NewServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
+// ListenAndServe runs srv until ctx is cancelled, then drains in-flight
+// requests for at most grace (0 selects DefaultGrace) before forcing
+// connections closed. It returns nil on a clean, drained shutdown and
+// the serve error if the listener fails first.
+func ListenAndServe(ctx context.Context, srv *http.Server, grace time.Duration) error {
+	return serve(ctx, srv, grace, srv.ListenAndServe)
+}
+
+// Serve is ListenAndServe over an existing listener, for ephemeral
+// ports in tests and the self-benchmark.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration) error {
+	return serve(ctx, srv, grace, func() error { return srv.Serve(ln) })
+}
+
+// serve runs the accept loop until ctx cancellation, then shuts down.
+func serve(ctx context.Context, srv *http.Server, grace time.Duration, run func() error) error {
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- run() }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if serveErr := <-errCh; !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}

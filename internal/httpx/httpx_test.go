@@ -1,0 +1,62 @@
+package httpx
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestNewServerHardened asserts the shared constructor applies the
+// slowloris protections every daemon relies on.
+func TestNewServerHardened(t *testing.T) {
+	srv := NewServer(":0", http.NotFoundHandler())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout not set")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout not set")
+	}
+}
+
+// TestServeGracefulShutdown serves over an ephemeral listener, makes a
+// request, cancels the context and expects a clean nil return.
+func TestServeGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("pong"))
+	})
+	srv := NewServer("", mux)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, srv, ln, time.Second) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("got body %q", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+}

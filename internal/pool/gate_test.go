@@ -1,0 +1,87 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGateBoundsConcurrency hammers a small gate from many goroutines
+// and asserts the observed concurrency never exceeds the bound.
+func TestGateBoundsConcurrency(t *testing.T) {
+	const bound = 4
+	g := NewGate(bound)
+	if g.Cap() != bound {
+		t.Fatalf("Cap() = %d, want %d", g.Cap(), bound)
+	}
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				m := max.Load()
+				if n <= m || max.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if max.Load() > bound {
+		t.Fatalf("observed %d concurrent holders, bound %d", max.Load(), bound)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight() = %d after drain", g.InFlight())
+	}
+}
+
+// TestGateAcquireCancellation verifies a blocked Acquire returns the
+// context error once cancelled.
+func TestGateAcquireCancellation(t *testing.T) {
+	g := NewGate(1)
+	if !g.TryAcquire() {
+		t.Fatal("TryAcquire on empty gate failed")
+	}
+	if g.TryAcquire() {
+		t.Fatal("TryAcquire succeeded past the bound")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Acquire returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire did not observe cancellation")
+	}
+	g.Release()
+}
+
+// TestGateDefaultsAndMisuse covers the default sizing and the
+// unmatched-release panic.
+func TestGateDefaultsAndMisuse(t *testing.T) {
+	if NewGate(0).Cap() <= 0 {
+		t.Fatal("default gate has no capacity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	NewGate(1).Release()
+}

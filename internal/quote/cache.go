@@ -1,0 +1,67 @@
+package quote
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity LRU of encoded response bodies. The
+// service keys it by (history digest, canonical request), so entries
+// never go stale — new history means a new digest, and the old entries
+// simply age out.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// lruEntry is one cached body.
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRU returns an empty cache holding at most capacity entries.
+func newLRU(capacity int) *lruCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached body and marks it most recently used.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// add stores a body, evicting the least recently used entry when full.
+func (c *lruCache) add(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,45 @@
+package quote
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest exercises the request decoder: it must never
+// panic, and anything it accepts must normalize and key
+// deterministically; accepted-and-valid requests must survive a
+// validation round-trip.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(`{"work_hours":20,"deadline_hours":30,"history_window":12}`)
+	f.Add(`{"work_hours":20,"deadline_hours":30,"on_demand_price":2.4,"history_window":12,"max_zones":3,"top":5}`)
+	f.Add(`{"work_hours":1e308,"deadline_hours":1e309,"history_window":-0}`)
+	f.Add(`{"work_hours":-0.0001,"deadline_hours":null}`)
+	f.Add(`{"work_hours":9007199254740993,"deadline_hours":2e16,"history_window":0.0000001}`)
+	f.Add(`{}`)
+	f.Add(`{"unknown":true}`)
+	f.Add(`[{"work_hours":1}]`)
+	f.Add(`{"work_hours":`)
+	f.Add(``)
+	f.Add(`0`)
+	f.Fuzz(func(t *testing.T, in string) {
+		req, err := DecodeRequest(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		req.Normalize()
+		key1 := req.Key()
+		key2 := req.Key()
+		if key1 != key2 {
+			t.Fatalf("Key not deterministic: %q vs %q", key1, key2)
+		}
+		if err := req.Validate(); err != nil {
+			return
+		}
+		// Validated requests carry finite, positive planning inputs.
+		if req.WorkHours <= 0 || req.DeadlineHours < req.WorkHours ||
+			req.HistoryWindowHours <= 0 || req.OnDemandPrice <= 0 ||
+			req.MaxZones <= 0 || req.Top <= 0 {
+			t.Fatalf("Validate accepted out-of-range request %+v", req)
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package quote
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/spotapi"
+	"repro/internal/trace"
+)
+
+// HistorySource supplies the trailing price history quotes are
+// computed from. Implementations must be safe for concurrent use.
+type HistorySource interface {
+	// History returns at most the trailing window seconds of price
+	// history (clamped to what the source holds) together with a digest
+	// identifying the exact samples returned.
+	History(ctx context.Context, window int64) (*trace.Set, string, error)
+}
+
+// Digest fingerprints a trace.Set — step, zone names and every price
+// sample — as a short hex string. Equal digests mean the evaluator saw
+// identical inputs, which (with the deterministic evaluation core)
+// means identical plans.
+func Digest(set *trace.Set) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(set.Step()))
+	for _, s := range set.Series {
+		h.Write([]byte(s.Zone))
+		h.Write([]byte{0})
+		put(uint64(s.Epoch))
+		for _, p := range s.Prices {
+			put(math.Float64bits(p))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// tailWindow slices the trailing window seconds off a set, clamping to
+// the set's span.
+func tailWindow(set *trace.Set, window int64) (*trace.Set, error) {
+	if set == nil || set.NumZones() == 0 || set.Duration() <= 0 {
+		return nil, errors.New("quote: history source holds no samples")
+	}
+	from := set.End() - window
+	if from < set.Start() {
+		from = set.Start()
+	}
+	win := set.Slice(from, set.End())
+	if win.Duration() <= 0 || win.Series[0].Len() < 2 {
+		return nil, fmt.Errorf("quote: history window of %d s holds no samples", window)
+	}
+	return win, nil
+}
+
+// StaticSource serves windows of a fixed in-memory trace — synthetic
+// histories from internal/tracegen, or a recorded file.
+type StaticSource struct {
+	// Set is the full history; windows are sliced off its tail.
+	Set *trace.Set
+}
+
+// History implements HistorySource.
+func (s *StaticSource) History(_ context.Context, window int64) (*trace.Set, string, error) {
+	win, err := tailWindow(s.Set, window)
+	if err != nil {
+		return nil, "", err
+	}
+	return win, Digest(win), nil
+}
+
+// FeedSource pulls history from a spotapi endpoint (cmd/pricefeedd, or
+// anything speaking the AWS DescribeSpotPriceHistory format) and caches
+// the fetched set for TTL so a burst of quote requests costs one
+// upstream fetch.
+type FeedSource struct {
+	// Client fetches the history.
+	Client *spotapi.Client
+	// TTL is how long a fetched set is reused; 0 selects 10 s.
+	TTL time.Duration
+
+	mu        sync.Mutex
+	fetchedAt time.Time
+	set       *trace.Set
+}
+
+// History implements HistorySource.
+func (f *FeedSource) History(ctx context.Context, window int64) (*trace.Set, string, error) {
+	set, err := f.fetch(ctx)
+	if err != nil {
+		return nil, "", err
+	}
+	win, err := tailWindow(set, window)
+	if err != nil {
+		return nil, "", err
+	}
+	return win, Digest(win), nil
+}
+
+// fetch returns the cached set or refreshes it past the TTL. The lock
+// is held across the fetch so concurrent callers coalesce onto one
+// upstream request.
+func (f *FeedSource) fetch(ctx context.Context) (*trace.Set, error) {
+	ttl := f.TTL
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.set != nil && time.Since(f.fetchedAt) < ttl {
+		return f.set, nil
+	}
+	set, _, err := f.Client.Fetch(ctx, time.Time{}, time.Time{}, trace.DefaultStep)
+	if err != nil {
+		if f.set != nil {
+			// Serve the stale window rather than failing the quote; the
+			// digest keys the cache, so staleness is visible, not wrong.
+			return f.set, nil
+		}
+		return nil, err
+	}
+	f.set = set
+	f.fetchedAt = time.Now()
+	return set, nil
+}

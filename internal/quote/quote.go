@@ -1,0 +1,229 @@
+// Package quote is the planning front-end of the repository: an HTTP
+// JSON service that answers "I have W hours of work and a deadline D —
+// what should I bid, in how many zones, under which checkpoint policy?"
+// by replaying every (bid, zones, policy) permutation over recent spot
+// price history on the core.Evaluator and serving the ranked plan
+// table.
+//
+// The service is production-shaped: request validation, an LRU plan
+// cache keyed by (history digest, request), singleflight coalescing of
+// identical in-flight requests, bounded evaluation concurrency through
+// a pool.Gate, and /metrics + /healthz endpoints. Because evaluation is
+// deterministic (fixed estimation seed, order-preserving fan-out),
+// identical requests over identical history return byte-identical
+// bodies whether computed, coalesced or served from cache.
+package quote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/market"
+)
+
+// Request defaults and limits. The caps keep a hostile request from
+// turning one evaluation into an unbounded amount of work: work and
+// window sizes bound the replay length, MaxZonesLimit bounds the
+// permutation grid.
+const (
+	// DefaultOnDemandPrice is the paper's CC2 on-demand rate.
+	DefaultOnDemandPrice = market.OnDemandRate
+	// DefaultMaxZones is the paper's redundancy bound.
+	DefaultMaxZones = 3
+	// DefaultTop is the number of ranked plans returned.
+	DefaultTop = 5
+	// MaxWorkHours bounds the job size a quote may describe.
+	MaxWorkHours = 24 * 365
+	// MaxDeadlineHours bounds the deadline horizon.
+	MaxDeadlineHours = 10 * 24 * 365
+	// MaxHistoryWindowHours bounds the replayed history span.
+	MaxHistoryWindowHours = 24 * 90
+	// MaxZonesLimit bounds the requested redundancy degree.
+	MaxZonesLimit = 8
+	// MaxTop bounds the ranked plans returned.
+	MaxTop = 100
+	// MaxOnDemandPrice bounds the hourly on-demand rate.
+	MaxOnDemandPrice = 1000
+	// MaxBodyBytes bounds the accepted request body.
+	MaxBodyBytes = 1 << 20
+)
+
+// Request is one planning question. HistoryWindowHours is required;
+// zero-valued optional fields select the documented defaults.
+type Request struct {
+	// WorkHours is the uninterrupted computation time W in hours.
+	WorkHours float64 `json:"work_hours"`
+	// DeadlineHours is the completion budget D in hours; it must be at
+	// least WorkHours or not even an immediate on-demand run finishes.
+	DeadlineHours float64 `json:"deadline_hours"`
+	// OnDemandPrice is the hourly on-demand fallback price in dollars;
+	// 0 selects DefaultOnDemandPrice.
+	OnDemandPrice float64 `json:"on_demand_price"`
+	// HistoryWindowHours is how much trailing price history the
+	// permutations are replayed over. It is required: an empty window
+	// gives the evaluator nothing to measure.
+	HistoryWindowHours float64 `json:"history_window"`
+	// MaxZones bounds the redundancy degree N; 0 selects
+	// DefaultMaxZones.
+	MaxZones int `json:"max_zones,omitempty"`
+	// Top is how many ranked plans the response carries (best +
+	// alternatives); 0 selects DefaultTop.
+	Top int `json:"top,omitempty"`
+}
+
+// DecodeRequest reads one JSON request from r, rejecting unknown
+// fields, oversized bodies and trailing garbage.
+func DecodeRequest(r io.Reader) (Request, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return Request{}, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	if dec.More() {
+		return Request{}, fmt.Errorf("%w: trailing data after request object", ErrInvalidRequest)
+	}
+	return req, nil
+}
+
+// Normalize fills defaulted fields in place; call it before Validate.
+func (r *Request) Normalize() {
+	if r.OnDemandPrice == 0 {
+		r.OnDemandPrice = DefaultOnDemandPrice
+	}
+	if r.MaxZones == 0 {
+		r.MaxZones = DefaultMaxZones
+	}
+	if r.Top == 0 {
+		r.Top = DefaultTop
+	}
+}
+
+// ErrInvalidRequest marks client-side errors (malformed or
+// out-of-range requests); the HTTP layer maps it to 400.
+var ErrInvalidRequest = errors.New("quote: invalid request")
+
+// ErrHistory marks history-source failures; the HTTP layer maps it to
+// 502.
+var ErrHistory = errors.New("quote: history source failed")
+
+// invalidf builds an ErrInvalidRequest with detail.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidRequest, fmt.Sprintf(format, args...))
+}
+
+// Validate reports whether a normalized request is well-formed and
+// within the service's limits.
+func (r Request) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"work_hours", r.WorkHours},
+		{"deadline_hours", r.DeadlineHours},
+		{"on_demand_price", r.OnDemandPrice},
+		{"history_window", r.HistoryWindowHours},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return invalidf("%s must be finite", f.name)
+		}
+	}
+	if r.WorkHours <= 0 {
+		return invalidf("work_hours must be positive, got %g", r.WorkHours)
+	}
+	if r.WorkHours > MaxWorkHours {
+		return invalidf("work_hours %g exceeds limit %d", r.WorkHours, MaxWorkHours)
+	}
+	if r.DeadlineHours < r.WorkHours {
+		return invalidf("deadline_hours %g is below work_hours %g: not schedulable even on-demand", r.DeadlineHours, r.WorkHours)
+	}
+	if r.DeadlineHours > MaxDeadlineHours {
+		return invalidf("deadline_hours %g exceeds limit %d", r.DeadlineHours, MaxDeadlineHours)
+	}
+	if r.OnDemandPrice < 0 {
+		return invalidf("on_demand_price must not be negative, got %g", r.OnDemandPrice)
+	}
+	if r.OnDemandPrice > MaxOnDemandPrice {
+		return invalidf("on_demand_price %g exceeds limit %d", r.OnDemandPrice, MaxOnDemandPrice)
+	}
+	if r.HistoryWindowHours <= 0 {
+		return invalidf("history_window must be positive, got %g", r.HistoryWindowHours)
+	}
+	if r.HistoryWindowHours > MaxHistoryWindowHours {
+		return invalidf("history_window %g exceeds limit %d", r.HistoryWindowHours, MaxHistoryWindowHours)
+	}
+	if r.MaxZones < 0 || r.MaxZones > MaxZonesLimit {
+		return invalidf("max_zones must be in [1, %d], got %d", MaxZonesLimit, r.MaxZones)
+	}
+	if r.Top < 0 || r.Top > MaxTop {
+		return invalidf("top must be in [1, %d], got %d", MaxTop, r.Top)
+	}
+	return nil
+}
+
+// Key returns the canonical cache-key component of a normalized
+// request: every field that influences the response body, in fixed
+// order.
+func (r Request) Key() string {
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return "w=" + g(r.WorkHours) +
+		"|d=" + g(r.DeadlineHours) +
+		"|od=" + g(r.OnDemandPrice) +
+		"|h=" + g(r.HistoryWindowHours) +
+		"|z=" + strconv.Itoa(r.MaxZones) +
+		"|t=" + strconv.Itoa(r.Top)
+}
+
+// Plan is one ranked (bid, zones, policy) permutation on the wire.
+type Plan struct {
+	// Bid is the spot bid in dollars per hour.
+	Bid float64 `json:"bid"`
+	// Zones are the availability zones the plan runs in.
+	Zones []string `json:"zones"`
+	// Policy is the checkpoint policy family.
+	Policy string `json:"policy"`
+	// PredictedCost is the predicted remaining cost in dollars.
+	PredictedCost float64 `json:"predicted_cost_usd"`
+	// CostRatePerHour is the measured spend rate over the history
+	// window in dollars per hour.
+	CostRatePerHour float64 `json:"cost_rate_usd_per_hour"`
+	// ProgressRate is work-seconds completed per wall-clock second.
+	ProgressRate float64 `json:"progress_rate"`
+	// PredictedFinishHours is the predicted completion time in hours.
+	PredictedFinishHours float64 `json:"predicted_finish_hours"`
+	// DeadlineMarginHours is DeadlineHours − PredictedFinishHours.
+	DeadlineMarginHours float64 `json:"deadline_margin_hours"`
+}
+
+// HistoryInfo describes the price history a quote was computed from.
+type HistoryInfo struct {
+	// Zones are the availability zones of the history.
+	Zones []string `json:"zones"`
+	// Samples is the number of price samples per zone.
+	Samples int `json:"samples"`
+	// WindowHours is the actual history span served (the requested
+	// window clamped to what the source holds).
+	WindowHours float64 `json:"window_hours"`
+	// Digest identifies the exact samples; responses with equal digests
+	// and equal requests are byte-identical.
+	Digest string `json:"digest"`
+}
+
+// Response is the ranked plan table for one request.
+type Response struct {
+	// Best is the least-predicted-cost plan.
+	Best Plan `json:"best"`
+	// Alternatives are the runner-up plans, best-first.
+	Alternatives []Plan `json:"alternatives"`
+	// OnDemandCost is the reference cost of running the whole job
+	// on-demand at the request's rate.
+	OnDemandCost float64 `json:"on_demand_cost_usd"`
+	// Evaluated counts the permutations replayed for this quote.
+	Evaluated int `json:"evaluated_permutations"`
+	// History describes the replayed price window.
+	History HistoryInfo `json:"history"`
+}

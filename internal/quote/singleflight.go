@@ -1,0 +1,44 @@
+package quote
+
+import "sync"
+
+// flightGroup coalesces concurrent computations for the same key: the
+// first caller runs fn, later callers with the same in-flight key block
+// and share the leader's result. A burst of identical cold-cache
+// requests therefore costs one evaluation, not N.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	wg   sync.WaitGroup
+	body []byte
+	err  error
+}
+
+// do runs fn once per concurrent key, returning the shared result and
+// whether this caller joined an existing flight instead of leading one.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.body, true, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.body, false, c.err
+}

@@ -1,11 +1,19 @@
 #!/usr/bin/env sh
-# Repository gate: vet, build, then the full test suite under the race
-# detector. The suite includes doccheck_test.go (exported-symbol doc
-# coverage) and the golden determinism tests of the replay engine and
-# the parallel permutation evaluator, so a green run certifies both
-# correctness and bit-for-bit reproducibility of the figures.
+# Repository gate: formatting, vet, build, then the full test suite
+# under the race detector. The suite includes doccheck_test.go
+# (exported-symbol doc coverage) and the golden determinism tests of
+# the replay engine, the parallel permutation evaluator and the quote
+# service, so a green run certifies correctness, bit-for-bit
+# reproducibility of the figures, and byte-identical plan serving.
 set -eu
 cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 go vet ./...
 go build ./...
