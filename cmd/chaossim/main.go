@@ -1,0 +1,67 @@
+// Command chaossim soaks the live scheduling pipeline under seeded
+// fault injection: each run replays a synthetic trace through the fault
+// injector (latency, drops, duplicates, corruption, stalls, zone
+// blackouts), the retry decorator and the scheduler with its feed
+// watchdog, then verifies the paper's invariants — deadline met or
+// on-demand fallback provably engaged, a consistent billing ledger, no
+// goroutine leaks, and bit-for-bit determinism per seed (every scenario
+// is replayed twice and the results compared).
+//
+// It exits non-zero on the first violated invariant, which makes it a
+// CI gate; scripts/check.sh runs a short soak.
+//
+// Usage:
+//
+//	chaossim -runs 20 -seed 1 -preset high
+//	chaossim -runs 100 -watchdog 50ms -v
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaossim: ")
+
+	runs := flag.Int("runs", 20, "fault scenarios to soak (each replayed twice for determinism)")
+	seed := flag.Uint64("seed", 1, "base seed; run i uses seed+i")
+	preset := flag.String("preset", "high", "trace preset: low, high, low-spike")
+	work := flag.Float64("work", 4, "computation time C in hours")
+	slack := flag.Float64("slack", 0.5, "deadline slack fraction")
+	watchdog := flag.Duration("watchdog", 100*time.Millisecond, "feed watchdog gap (stalls sleep 10x this)")
+	verbose := flag.Bool("v", false, "print one line per run")
+	flag.Parse()
+
+	var lw io.Writer
+	if *verbose {
+		lw = os.Stdout
+	}
+	rep, err := chaos.Soak(context.Background(), chaos.Config{
+		Preset:      *preset,
+		Seed:        *seed,
+		Runs:        *runs,
+		WorkHours:   *work,
+		SlackFrac:   *slack,
+		WatchdogGap: *watchdog,
+		Log:         lw,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chaos soak passed: %d seeded scenarios (each replayed twice) in %s\n",
+		len(rep.Runs), rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  fallbacks engaged  %d/%d\n", rep.Fallbacks, len(rep.Runs))
+	fmt.Printf("  watchdog trips     %d\n", rep.WatchdogTrips)
+	fmt.Printf("  invalid rows       %d\n", rep.InvalidRows)
+	fmt.Printf("  feed errors        %d\n", rep.FeedErrors)
+	fmt.Println("  invariants         deadline-or-fallback, ledger-consistent, leak-free, deterministic")
+}

@@ -9,6 +9,7 @@
 //
 //	livesim -preset high -policy adaptive -speedup 6000
 //	livesim -serve -preset low -policy markov-daly
+//	livesim -chaos 7 -watchdog 100ms -speedup 6000
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/livesched"
 	"repro/internal/market"
 	"repro/internal/sim"
@@ -43,6 +45,8 @@ func main() {
 	slack := flag.Float64("slack", 0.15, "slack fraction")
 	speedup := flag.Float64("speedup", 0, "wall-clock compression (0 = as fast as possible; 6000 replays 5-minute steps at 50 ms)")
 	serve := flag.Bool("serve", false, "serve the history over HTTP (AWS format) and consume it through the spotapi client")
+	watchdog := flag.Duration("watchdog", 0, "feed watchdog gap: a sample gap past this drives the run to the on-demand fallback (0 disables)")
+	chaos := flag.Uint64("chaos", 0, "inject a seeded fault scenario (stalls, drops, corruption, blackouts) into the feed; 0 disables")
 	flag.Parse()
 
 	set, err := buildSet(*preset, *seed)
@@ -79,15 +83,31 @@ func main() {
 	if *speedup > 0 {
 		interval = time.Duration(float64(trace.DefaultStep) / *speedup * float64(time.Second))
 	}
+	var feed livesched.Feed = &livesched.TraceFeed{Set: run, Interval: interval}
+	if *chaos != 0 {
+		gap := *watchdog
+		if gap <= 0 {
+			gap = time.Second
+		}
+		scenario := faults.RandomScenario(*chaos, int64(run.Series[0].Len()), run.Zones(), 10*gap, gap/20)
+		fmt.Printf("chaos seed %d: injecting %d fault plans\n", *chaos, len(scenario.Plans))
+		for _, p := range scenario.Plans {
+			fmt.Printf("  at sample %-4d %-9s for %d samples (zones: %v)\n", p.At, p.Kind, p.Duration, p.Zones)
+		}
+		fmt.Println()
+		feed = &faults.Injector{Inner: feed, Scenario: scenario}
+	}
 	sched, err := livesched.New(livesched.Config{
-		Work:           work,
-		Deadline:       deadline,
-		CheckpointCost: 300,
-		RestartCost:    300,
-		History:        history,
-		Delay:          market.DefaultDelay(),
-		Seed:           *seed,
-	}, strat, &livesched.TraceFeed{Set: run, Interval: interval}, livesched.LogActuator{W: os.Stdout})
+		Work:                work,
+		Deadline:            deadline,
+		CheckpointCost:      300,
+		RestartCost:         300,
+		History:             history,
+		Delay:               market.DefaultDelay(),
+		Seed:                *seed,
+		WatchdogGap:         *watchdog,
+		FallbackOnFeedError: *chaos != 0,
+	}, strat, feed, livesched.LogActuator{W: os.Stdout})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,6 +118,10 @@ func main() {
 	}
 	fmt.Printf("\ncompleted: cost $%.2f (spot $%.2f + on-demand $%.2f), finish %.2f h, deadline met: %v\n",
 		res.Cost, res.SpotCost, res.OnDemandCost, float64(res.FinishTime)/float64(trace.Hour), res.DeadlineMet)
+	if deg := sched.Degradation(); deg != (livesched.Degradation{}) {
+		fmt.Printf("degradation: watchdog trips %d, invalid rows skipped %d, feed errors absorbed %d\n",
+			deg.WatchdogTrips, deg.InvalidRows, deg.FeedErrors)
+	}
 }
 
 // rebase clones a slice of a trace so its epoch is relative to start.

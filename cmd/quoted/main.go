@@ -57,13 +57,18 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation workers per request (0: GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent evaluations admitted (0: 2×GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 1024, "plan cache entries")
+	breakerFails := flag.Int("breaker-failures", quote.DefaultBreakerThreshold, "consecutive history failures that open the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", quote.DefaultBreakerCooldown, "open-breaker period before a half-open probe")
 	selfbench := flag.Int("selfbench", 0, "run the load generator with this many concurrent clients instead of serving")
 	benchDur := flag.Duration("bench-duration", 5*time.Second, "load generator run time")
 	flag.Parse()
 
+	metrics := quote.NewMetrics()
 	var source quote.HistorySource
 	if *feed != "" {
-		source = &quote.FeedSource{Client: &spotapi.Client{BaseURL: *feed}, TTL: *feedTTL}
+		// Share the service's metrics sink so feed degradation (stale
+		// serves, staleness watchdog trips) shows up on /metrics.
+		source = &quote.FeedSource{Client: &spotapi.Client{BaseURL: *feed}, TTL: *feedTTL, Stats: metrics}
 	} else {
 		var set *trace.Set
 		switch *preset {
@@ -86,6 +91,8 @@ func main() {
 		Eval:      &core.Evaluator{Workers: *workers},
 		Gate:      pool.NewGate(*maxInflight),
 		CacheSize: *cacheSize,
+		Metrics:   metrics,
+		Breaker:   &quote.Breaker{Threshold: *breakerFails, Cooldown: *breakerCooldown},
 	}
 	handler := quote.NewHandler(svc)
 

@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff defaults, shared by every retry path in the repository.
+const (
+	// DefaultBase is the first retry delay.
+	DefaultBase = time.Second
+	// DefaultCap bounds any single delay: a price feed samples every
+	// five minutes, so sleeping longer than this between retries only
+	// widens an outage.
+	DefaultCap = 30 * time.Second
+	// DefaultJitter is the default fractional jitter (±10%).
+	DefaultJitter = 0.1
+)
+
+// Backoff computes capped exponential retry delays with bounded,
+// deterministic jitter. The zero value is ready and selects the
+// defaults; set Jitter negative to disable jitter entirely. Delay is a
+// pure function of (Seed, attempt), so retry schedules are reproducible
+// — a property the chaos soak relies on — while distinct seeds still
+// de-synchronize retry storms across clients.
+type Backoff struct {
+	// Base is the delay before the first retry; 0 selects DefaultBase.
+	Base time.Duration
+	// Cap bounds the doubled delay; 0 selects DefaultCap. Without a
+	// cap, a long outage doubles past any useful horizon (the bug this
+	// type exists to fix).
+	Cap time.Duration
+	// Jitter is the fractional jitter amplitude: each delay is drawn
+	// uniformly from [d·(1−Jitter), d·(1+Jitter)], then re-capped.
+	// 0 selects DefaultJitter; negative disables jitter.
+	Jitter float64
+	// Seed selects the deterministic jitter stream.
+	Seed uint64
+}
+
+// Delay returns the delay before retry attempt (0-based): Base doubled
+// attempt times, capped at Cap, with bounded jitter applied.
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = DefaultBase
+	}
+	cap := b.Cap
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	if base > cap {
+		base = cap
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	j := b.Jitter
+	if j == 0 {
+		j = DefaultJitter
+	}
+	if j > 0 {
+		// splitmix64 over (Seed, attempt) → uniform fraction in [0, 1);
+		// stateless, so the schedule does not depend on call history.
+		h := splitmix64(b.Seed + uint64(attempt)*0x9e3779b97f4a7c15)
+		frac := float64(h>>11) / (1 << 53)
+		d = time.Duration(float64(d) * (1 - j + 2*j*frac))
+		if d > cap {
+			d = cap
+		}
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// splitmix64 is the SplitMix64 output function: a cheap, well-mixed
+// hash from one 64-bit word to another.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sleep pauses for d or until ctx is done, returning the context's
+// error when cancellation wins. It is the context-aware timer every
+// retry loop in the repository shares.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffDoublesWithoutJitter(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Hour, Jitter: -1}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 800 * time.Millisecond}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffCap(t *testing.T) {
+	b := Backoff{Base: time.Second, Cap: 5 * time.Second, Jitter: -1}
+	for i := 0; i < 20; i++ {
+		if got := b.Delay(i); got > 5*time.Second {
+			t.Fatalf("Delay(%d) = %v exceeds cap", i, got)
+		}
+	}
+	if b.Delay(10) != 5*time.Second {
+		t.Fatalf("Delay(10) = %v, want the cap", b.Delay(10))
+	}
+}
+
+func TestBackoffJitterBoundedAndDeterministic(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Hour, Jitter: 0.2, Seed: 7}
+	var jittered bool
+	for i := 0; i < 10; i++ {
+		nominal := 100 * time.Millisecond << uint(i)
+		got := b.Delay(i)
+		lo := time.Duration(float64(nominal) * 0.8)
+		hi := time.Duration(float64(nominal) * 1.2)
+		if got < lo || got > hi {
+			t.Fatalf("Delay(%d) = %v outside [%v, %v]", i, got, lo, hi)
+		}
+		if got != nominal {
+			jittered = true
+		}
+		if again := b.Delay(i); again != got {
+			t.Fatalf("Delay(%d) not deterministic: %v then %v", i, got, again)
+		}
+	}
+	if !jittered {
+		t.Fatal("jitter never moved a delay")
+	}
+	other := Backoff{Base: 100 * time.Millisecond, Cap: time.Hour, Jitter: 0.2, Seed: 8}
+	var moved bool
+	for i := 0; i < 10; i++ {
+		if other.Delay(i) != b.Delay(i) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("distinct seeds produced identical jitter")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if d := b.Delay(0); d <= 0 {
+		t.Fatalf("zero-value Delay(0) = %v", d)
+	}
+	for i := 0; i < 20; i++ {
+		if d := b.Delay(i); d > DefaultCap+time.Duration(float64(DefaultCap)*DefaultJitter) {
+			t.Fatalf("zero-value Delay(%d) = %v way past the default cap", i, d)
+		}
+	}
+}
+
+func TestSleepHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep blocked despite cancellation")
+	}
+}
+
+func TestSleepZero(t *testing.T) {
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(0) = %v", err)
+	}
+}

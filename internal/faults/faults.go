@@ -1,0 +1,203 @@
+// Package faults is the repository's fault-injection layer: a seeded,
+// deterministic way to subject the live pipeline (price feed →
+// scheduler → quote service) to the failures a real spot deployment
+// sees — latency spikes, dropped/duplicated/corrupted price samples,
+// feed stalls, per-zone blackouts, and HTTP 5xx/timeout errors — so the
+// paper's deadline guarantee can be exercised, not assumed.
+//
+// Faults are described by a small scenario DSL: a Plan names one fault
+// (what, when, for how long, against which zones), a Scenario is a
+// seeded list of plans. Injectors consume scenarios:
+//
+//   - Injector wraps a price feed (anything with the livesched.Feed
+//     shape) and perturbs the sample stream.
+//   - RoundTripper and Handler wrap HTTP clients and servers with
+//     injected 5xx responses and timeouts.
+//
+// Everything is deterministic for a fixed scenario: fault positions are
+// keyed to sample/request indexes, not wall-clock time, and any random
+// choice derives from the scenario seed. Replaying the same scenario
+// over the same trace reproduces the same run bit-for-bit, which is
+// what lets the chaos soak (internal/chaos, cmd/chaossim) assert
+// invariants across hundreds of randomized-but-seeded runs.
+package faults
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// Kind names one injected failure mode.
+type Kind int
+
+// The fault taxonomy. Feed kinds (Latency through Blackout) perturb a
+// price sample stream; HTTP kinds perturb request/response exchanges.
+const (
+	// Latency delays delivery of the affected samples by Delay.
+	Latency Kind = iota
+	// Drop silently discards the affected samples, leaving a gap in
+	// the stream.
+	Drop
+	// Duplicate redelivers the previous sample instead of consuming a
+	// new one.
+	Duplicate
+	// Corrupt replaces affected prices with detectably invalid values
+	// (NaN, negative, infinite) chosen deterministically from the
+	// scenario seed.
+	Corrupt
+	// Stall blocks the feed for Delay before delivering; it models a
+	// hung upstream and is what the scheduler's watchdog guards
+	// against.
+	Stall
+	// Blackout forces affected zones' prices to BlackoutPrice —
+	// finite, positive, and above any sane bid — so the market itself
+	// evicts the zones, as in an availability-zone outage.
+	Blackout
+	// HTTPError answers the affected requests with a synthesized
+	// 5xx response instead of forwarding them.
+	HTTPError
+	// HTTPTimeout holds the affected requests for Delay and then fails
+	// them with a timeout-shaped error.
+	HTTPTimeout
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Latency:
+		return "latency"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Corrupt:
+		return "corrupt"
+	case Stall:
+		return "stall"
+	case Blackout:
+		return "blackout"
+	case HTTPError:
+		return "http-error"
+	case HTTPTimeout:
+		return "http-timeout"
+	default:
+		return "unknown"
+	}
+}
+
+// BlackoutPrice is the price substituted into blacked-out zones: high
+// enough to exceed any bid the planner would place, yet finite and
+// positive so it survives feed sanitization — the machine must handle
+// it as a market event, not a parse error.
+const BlackoutPrice = 999.0
+
+// Plan is one scheduled fault in a scenario.
+type Plan struct {
+	// At is the 0-based sample (or request) index at which the fault
+	// engages.
+	At int64
+	// Kind is the failure mode.
+	Kind Kind
+	// Duration is how many consecutive samples (or requests) the fault
+	// covers; values below 1 behave as 1.
+	Duration int64
+	// Zones restricts Corrupt and Blackout to the named zones; empty
+	// means all zones.
+	Zones []string
+	// Delay is the wall-clock component of Latency, Stall and
+	// HTTPTimeout faults.
+	Delay time.Duration
+}
+
+// covers reports whether the plan is active at stream index i.
+func (p Plan) covers(i int64) bool {
+	d := p.Duration
+	if d < 1 {
+		d = 1
+	}
+	return i >= p.At && i < p.At+d
+}
+
+// affectsZone reports whether the plan applies to the named zone.
+func (p Plan) affectsZone(zone string) bool {
+	if len(p.Zones) == 0 {
+		return true
+	}
+	for _, z := range p.Zones {
+		if z == zone {
+			return true
+		}
+	}
+	return false
+}
+
+// Scenario is a seeded fault schedule. The zero value injects nothing.
+type Scenario struct {
+	// Seed drives every random choice an injector makes (corruption
+	// values); two injectors built from equal scenarios behave
+	// identically.
+	Seed uint64
+	// Plans are the scheduled faults, in any order.
+	Plans []Plan
+}
+
+// active returns the first plan of the given kind covering index i, or
+// nil.
+func (s Scenario) active(kind Kind, i int64) *Plan {
+	for pi := range s.Plans {
+		if s.Plans[pi].Kind == kind && s.Plans[pi].covers(i) {
+			return &s.Plans[pi]
+		}
+	}
+	return nil
+}
+
+// scenarioStream is the fixed second seed word of scenario-derived
+// random streams, so scenario randomness never collides with the
+// simulation engine's own stream.
+const scenarioStream = 0xfa17_1e5e_ed
+
+// rng returns the scenario's deterministic random stream.
+func (s Scenario) rng() *rand.Rand {
+	return rand.New(rand.NewPCG(s.Seed, scenarioStream))
+}
+
+// RandomScenario draws a randomized-but-seeded fault schedule for a
+// stream of horizon samples over the named zones: one to four plans,
+// kinds spanning the whole feed taxonomy, positions in [1, horizon)
+// (index 0 stays clean so a run can always start), durations of one to
+// six samples. stallDelay is used for Stall plans and latencyDelay for
+// Latency plans; callers pick them relative to their watchdog gap —
+// stalls well above it (the watchdog must trip), latency well below
+// (the run must ride through). Equal arguments return equal scenarios.
+func RandomScenario(seed uint64, horizon int64, zones []string, stallDelay, latencyDelay time.Duration) Scenario {
+	sc := Scenario{Seed: seed}
+	rng := sc.rng()
+	kinds := []Kind{Latency, Drop, Duplicate, Corrupt, Stall, Blackout}
+	n := 1 + rng.IntN(4)
+	if horizon < 2 {
+		horizon = 2
+	}
+	for i := 0; i < n; i++ {
+		p := Plan{
+			At:       1 + rng.Int64N(horizon-1),
+			Kind:     kinds[rng.IntN(len(kinds))],
+			Duration: 1 + rng.Int64N(6),
+		}
+		switch p.Kind {
+		case Stall:
+			p.Delay = stallDelay
+			p.Duration = 1 // one tripped watchdog ends the run's spot phase
+		case Latency:
+			p.Delay = latencyDelay
+		case Corrupt, Blackout:
+			if len(zones) > 0 && rng.IntN(2) == 0 {
+				p.Zones = []string{zones[rng.IntN(len(zones))]}
+			}
+		}
+		sc.Plans = append(sc.Plans, p)
+	}
+	sort.Slice(sc.Plans, func(i, j int) bool { return sc.Plans[i].At < sc.Plans[j].At })
+	return sc
+}

@@ -1,0 +1,229 @@
+package faults
+
+import (
+	"context"
+	"io"
+	"math"
+	"testing"
+	"time"
+)
+
+// sliceFeed serves fixed rows, for injector tests.
+type sliceFeed struct {
+	zones []string
+	rows  [][]float64
+	next  int
+}
+
+func (f *sliceFeed) Zones() []string { return f.zones }
+func (f *sliceFeed) Step() int64     { return 300 }
+func (f *sliceFeed) Next(context.Context) ([]float64, error) {
+	if f.next >= len(f.rows) {
+		return nil, io.EOF
+	}
+	row := make([]float64, len(f.rows[f.next]))
+	copy(row, f.rows[f.next])
+	f.next++
+	return row, nil
+}
+
+func rows(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{float64(i), float64(i) + 100}
+	}
+	return out
+}
+
+func drain(t *testing.T, f Feed) [][]float64 {
+	t.Helper()
+	var out [][]float64
+	for {
+		row, err := f.Next(context.Background())
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, row)
+	}
+}
+
+func TestInjectorPassthrough(t *testing.T) {
+	inner := &sliceFeed{zones: []string{"a", "b"}, rows: rows(5)}
+	inj := &Injector{Inner: inner}
+	got := drain(t, inj)
+	if len(got) != 5 || got[3][0] != 3 {
+		t.Fatalf("passthrough altered the stream: %v", got)
+	}
+	if inj.Step() != 300 || len(inj.Zones()) != 2 {
+		t.Fatal("delegation broken")
+	}
+}
+
+func TestInjectorDrop(t *testing.T) {
+	inner := &sliceFeed{zones: []string{"a", "b"}, rows: rows(6)}
+	inj := &Injector{Inner: inner, Scenario: Scenario{Plans: []Plan{{At: 1, Kind: Drop, Duration: 2}}}}
+	got := drain(t, inj)
+	if len(got) != 4 {
+		t.Fatalf("got %d rows, want 4", len(got))
+	}
+	if got[0][0] != 0 || got[1][0] != 3 {
+		t.Fatalf("dropped the wrong rows: %v", got)
+	}
+}
+
+func TestInjectorDuplicate(t *testing.T) {
+	inner := &sliceFeed{zones: []string{"a", "b"}, rows: rows(3)}
+	inj := &Injector{Inner: inner, Scenario: Scenario{Plans: []Plan{{At: 1, Kind: Duplicate, Duration: 2}}}}
+	got := drain(t, inj)
+	// 3 inner rows + 2 duplicated positions = 5 delivered.
+	if len(got) != 5 {
+		t.Fatalf("got %d rows, want 5", len(got))
+	}
+	if got[1][0] != 0 || got[2][0] != 0 || got[3][0] != 1 {
+		t.Fatalf("duplication wrong: %v", got)
+	}
+}
+
+func TestInjectorCorruptIsDetectableAndZoneScoped(t *testing.T) {
+	inner := &sliceFeed{zones: []string{"a", "b"}, rows: rows(4)}
+	inj := &Injector{Inner: inner, Scenario: Scenario{
+		Seed:  9,
+		Plans: []Plan{{At: 2, Kind: Corrupt, Duration: 1, Zones: []string{"b"}}},
+	}}
+	got := drain(t, inj)
+	if len(got) != 4 {
+		t.Fatalf("got %d rows", len(got))
+	}
+	if got[2][0] != 2 {
+		t.Fatalf("zone a was corrupted too: %v", got[2])
+	}
+	b := got[2][1]
+	if !math.IsNaN(b) && !math.IsInf(b, 0) && b >= 0 {
+		t.Fatalf("corrupted price %v is not detectably invalid", b)
+	}
+}
+
+func TestInjectorBlackout(t *testing.T) {
+	inner := &sliceFeed{zones: []string{"a", "b"}, rows: rows(4)}
+	inj := &Injector{Inner: inner, Scenario: Scenario{
+		Plans: []Plan{{At: 1, Kind: Blackout, Duration: 2, Zones: []string{"a"}}},
+	}}
+	got := drain(t, inj)
+	if got[1][0] != BlackoutPrice || got[2][0] != BlackoutPrice {
+		t.Fatalf("blackout did not hit zone a: %v", got)
+	}
+	if got[1][1] == BlackoutPrice {
+		t.Fatalf("blackout leaked into zone b: %v", got[1])
+	}
+	if got[3][0] != 3 {
+		t.Fatalf("blackout did not end: %v", got[3])
+	}
+}
+
+func TestInjectorStallSleepsAndObserves(t *testing.T) {
+	inner := &sliceFeed{zones: []string{"a", "b"}, rows: rows(3)}
+	var slept []time.Duration
+	var seen []Observation
+	inj := &Injector{
+		Inner:    inner,
+		Scenario: Scenario{Plans: []Plan{{At: 1, Kind: Stall, Duration: 1, Delay: time.Minute}}},
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+		OnFault: func(o Observation) { seen = append(seen, o) },
+	}
+	got := drain(t, inj)
+	if len(got) != 3 {
+		t.Fatalf("stall lost rows: %v", got)
+	}
+	if len(slept) != 1 || slept[0] != time.Minute {
+		t.Fatalf("slept %v, want one minute-long stall", slept)
+	}
+	if len(seen) != 1 || seen[0].Kind != Stall || seen[0].Index != 1 {
+		t.Fatalf("observations = %v", seen)
+	}
+}
+
+func TestInjectorStallHonoursCancellation(t *testing.T) {
+	inner := &sliceFeed{zones: []string{"a"}, rows: rows(3)}
+	inj := &Injector{
+		Inner:    inner,
+		Scenario: Scenario{Plans: []Plan{{At: 0, Kind: Stall, Duration: 1, Delay: time.Hour}}},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := inj.Next(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	sc := RandomScenario(42, 50, []string{"a", "b"}, time.Second, time.Millisecond)
+	run := func() [][]float64 {
+		inner := &sliceFeed{zones: []string{"a", "b"}, rows: rows(50)}
+		inj := &Injector{Inner: inner, Scenario: sc, Sleep: func(context.Context, time.Duration) error { return nil }}
+		return drain(t, inj)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			av, bv := a[i][j], b[i][j]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				t.Fatalf("row %d diverges: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRandomScenarioSeeded(t *testing.T) {
+	a := RandomScenario(7, 100, []string{"a", "b"}, time.Second, time.Millisecond)
+	b := RandomScenario(7, 100, []string{"a", "b"}, time.Second, time.Millisecond)
+	if len(a.Plans) != len(b.Plans) {
+		t.Fatalf("plan counts diverge: %d vs %d", len(a.Plans), len(b.Plans))
+	}
+	for i := range a.Plans {
+		if a.Plans[i].At != b.Plans[i].At || a.Plans[i].Kind != b.Plans[i].Kind {
+			t.Fatalf("plans diverge: %v vs %v", a.Plans, b.Plans)
+		}
+	}
+	for _, p := range a.Plans {
+		if p.At < 1 {
+			t.Fatalf("plan at index %d; index 0 must stay clean", p.At)
+		}
+	}
+	c := RandomScenario(8, 100, []string{"a", "b"}, time.Second, time.Millisecond)
+	if len(a.Plans) == len(c.Plans) {
+		same := true
+		for i := range a.Plans {
+			if a.Plans[i].At != c.Plans[i].At || a.Plans[i].Kind != c.Plans[i].Kind {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("distinct seeds produced identical scenarios")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{Latency, Drop, Duplicate, Corrupt, Stall, Blackout, HTTPError, HTTPTimeout}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("kind %d has bad name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unknown kind misnamed")
+	}
+}

@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Feed is the price-feed shape the injector wraps and exposes. It is
+// structurally identical to livesched.Feed, redeclared here so the
+// fault layer stays import-free of the scheduler (the scheduler imports
+// this package for its backoff helper).
+type Feed interface {
+	// Zones returns the zone names, fixed for the feed's lifetime.
+	Zones() []string
+	// Step returns the sampling interval in seconds.
+	Step() int64
+	// Next blocks until the next sample row is available.
+	Next(ctx context.Context) ([]float64, error)
+}
+
+// Observation reports one injected fault firing, for counters and logs.
+type Observation struct {
+	// Kind is the fault that fired.
+	Kind Kind
+	// Index is the stream position it fired at.
+	Index int64
+}
+
+// Injector wraps a Feed and perturbs its sample stream according to a
+// Scenario. Fault positions are keyed to the injector's own stream
+// index (samples delivered plus samples dropped), so a scenario replays
+// identically over identical inner feeds. An Injector is not safe for
+// concurrent Next calls, matching the Feed contract.
+type Injector struct {
+	// Inner is the wrapped feed.
+	Inner Feed
+	// Scenario is the fault schedule.
+	Scenario Scenario
+	// Sleep is overridable for tests; nil selects the shared
+	// context-aware Sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnFault, when set, observes every fault as it fires.
+	OnFault func(Observation)
+
+	once sync.Once
+	rng  *rand.Rand
+	pos  int64
+	last []float64
+}
+
+// Zones implements Feed.
+func (f *Injector) Zones() []string { return f.Inner.Zones() }
+
+// Step implements Feed.
+func (f *Injector) Step() int64 { return f.Inner.Step() }
+
+// init lazily prepares the deterministic corruption stream.
+func (f *Injector) init() {
+	f.once.Do(func() {
+		f.rng = f.Scenario.rng()
+		if f.Sleep == nil {
+			f.Sleep = Sleep
+		}
+	})
+}
+
+// fired reports a fault observation.
+func (f *Injector) fired(kind Kind, i int64) {
+	if f.OnFault != nil {
+		f.OnFault(Observation{Kind: kind, Index: i})
+	}
+}
+
+// Next implements Feed: it delivers the inner feed's next sample after
+// applying every plan active at the current stream position.
+func (f *Injector) Next(ctx context.Context) ([]float64, error) {
+	f.init()
+	for {
+		i := f.pos
+		// Wall-clock faults first: a stalled or slow feed delays the
+		// sample whatever else happens to it.
+		for _, kind := range []Kind{Stall, Latency} {
+			if p := f.Scenario.active(kind, i); p != nil && p.Delay > 0 {
+				f.fired(kind, i)
+				if err := f.Sleep(ctx, p.Delay); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if p := f.Scenario.active(Duplicate, i); p != nil && f.last != nil {
+			f.fired(Duplicate, i)
+			f.pos++
+			row := make([]float64, len(f.last))
+			copy(row, f.last)
+			return row, nil
+		}
+		row, err := f.Inner.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		f.pos++
+		if p := f.Scenario.active(Drop, i); p != nil {
+			f.fired(Drop, i)
+			continue
+		}
+		if p := f.Scenario.active(Corrupt, i); p != nil {
+			f.fired(Corrupt, i)
+			f.corrupt(row, p)
+		}
+		if p := f.Scenario.active(Blackout, i); p != nil {
+			f.fired(Blackout, i)
+			for zi, zone := range f.Inner.Zones() {
+				if zi < len(row) && p.affectsZone(zone) {
+					row[zi] = BlackoutPrice
+				}
+			}
+		}
+		f.last = make([]float64, len(row))
+		copy(f.last, row)
+		return row, nil
+	}
+}
+
+// corrupt overwrites the plan's zones with detectably invalid prices,
+// the variant chosen deterministically from the scenario stream.
+func (f *Injector) corrupt(row []float64, p *Plan) {
+	for zi, zone := range f.Inner.Zones() {
+		if zi >= len(row) || !p.affectsZone(zone) {
+			continue
+		}
+		switch f.rng.IntN(3) {
+		case 0:
+			row[zi] = math.NaN()
+		case 1:
+			row[zi] = -row[zi] - 1
+		default:
+			row[zi] = math.Inf(1)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package livesched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// dyingFeed serves n rows from the inner feed, then fails permanently
+// with a transient-looking error — a feed whose upstream never comes
+// back.
+type dyingFeed struct {
+	inner Feed
+	n     int
+	err   error
+}
+
+func (f *dyingFeed) Zones() []string { return f.inner.Zones() }
+func (f *dyingFeed) Step() int64     { return f.inner.Step() }
+func (f *dyingFeed) Next(ctx context.Context) ([]float64, error) {
+	if f.n <= 0 {
+		return nil, f.err
+	}
+	f.n--
+	return f.inner.Next(ctx)
+}
+
+// TestSchedulerUnderFaults drives full runs through the fault injector
+// and asserts the degradation contract: every run either meets the
+// deadline normally or provably engages the on-demand fallback, and the
+// scheduler's degradation counters record what happened.
+func TestSchedulerUnderFaults(t *testing.T) {
+	const gap = 50 * time.Millisecond
+	upstreamDead := errors.New("upstream dead")
+
+	cases := []struct {
+		name  string
+		feed  func(run *trace.Set) Feed
+		cfg   func(*Config)
+		check func(t *testing.T, res *sim.Result, deg Degradation, rec *Recorder)
+	}{
+		{
+			name: "stall mid-run trips watchdog and falls back to on-demand",
+			feed: func(run *trace.Set) Feed {
+				return &faults.Injector{
+					Inner:    &TraceFeed{Set: run},
+					Scenario: faults.Scenario{Plans: []faults.Plan{{At: 5, Kind: faults.Stall, Duration: 1, Delay: 10 * gap}}},
+				}
+			},
+			check: func(t *testing.T, res *sim.Result, deg Degradation, rec *Recorder) {
+				if deg.WatchdogTrips != 1 {
+					t.Fatalf("watchdog trips = %d, want 1", deg.WatchdogTrips)
+				}
+				if !res.SwitchedOnDemand {
+					t.Fatal("fallback did not switch to on-demand")
+				}
+				if rec.Count(ActStartOnDemand) == 0 {
+					t.Fatal("no start-on-demand action dispatched")
+				}
+			},
+		},
+		{
+			name: "zone blackout is absorbed by the bid guard",
+			feed: func(run *trace.Set) Feed {
+				return &faults.Injector{
+					Inner:    &TraceFeed{Set: run},
+					Scenario: faults.Scenario{Plans: []faults.Plan{{At: 3, Kind: faults.Blackout, Duration: 4}}},
+				}
+			},
+			check: func(t *testing.T, res *sim.Result, deg Degradation, rec *Recorder) {
+				if deg.WatchdogTrips != 0 || deg.FeedErrors != 0 {
+					t.Fatalf("blackout should not error the feed: %+v", deg)
+				}
+			},
+		},
+		{
+			name: "corrupted sample rows are skipped, not ingested",
+			feed: func(run *trace.Set) Feed {
+				return &faults.Injector{
+					Inner:    &TraceFeed{Set: run},
+					Scenario: faults.Scenario{Seed: 11, Plans: []faults.Plan{{At: 3, Kind: faults.Corrupt, Duration: 3}}},
+				}
+			},
+			check: func(t *testing.T, res *sim.Result, deg Degradation, rec *Recorder) {
+				if deg.InvalidRows < 1 {
+					t.Fatalf("invalid rows = %d, want >= 1", deg.InvalidRows)
+				}
+			},
+		},
+		{
+			name: "dead upstream exhausts retries and falls back",
+			feed: func(run *trace.Set) Feed {
+				return &RetryFeed{
+					Inner:    &dyingFeed{inner: &TraceFeed{Set: run}, n: 10, err: upstreamDead},
+					Attempts: 2,
+					Backoff:  time.Millisecond,
+					Cap:      2 * time.Millisecond,
+				}
+			},
+			check: func(t *testing.T, res *sim.Result, deg Degradation, rec *Recorder) {
+				if deg.FeedErrors != 1 {
+					t.Fatalf("feed errors = %d, want 1", deg.FeedErrors)
+				}
+				if !res.SwitchedOnDemand {
+					t.Fatal("fallback did not switch to on-demand")
+				}
+			},
+		},
+		{
+			name: "feed ending early falls back instead of aborting",
+			feed: func(run *trace.Set) Feed {
+				short := run.Slice(run.Start(), run.Start()+2*trace.Hour)
+				return &TraceFeed{Set: short}
+			},
+			check: func(t *testing.T, res *sim.Result, deg Degradation, rec *Recorder) {
+				if deg.FeedErrors != 1 {
+					t.Fatalf("feed errors = %d, want 1", deg.FeedErrors)
+				}
+				if !res.SwitchedOnDemand {
+					t.Fatal("fallback did not switch to on-demand")
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hist, run := liveWindow(3)
+			cfg := liveConfig(hist)
+			cfg.WatchdogGap = gap
+			cfg.FallbackOnFeedError = true
+			if tc.cfg != nil {
+				tc.cfg(&cfg)
+			}
+			rec := &Recorder{}
+			s, err := New(cfg, coreSingleZone(), tc.feed(run), rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(context.Background())
+			if err != nil {
+				t.Fatalf("run surfaced %v; faults should degrade, not abort", err)
+			}
+			// The paper's contract, under every fault: the deadline holds
+			// or the on-demand fallback provably engaged.
+			if !res.DeadlineMet && !res.SwitchedOnDemand {
+				t.Fatalf("deadline missed without fallback: %+v", res)
+			}
+			if res.DeadlineMet && res.FinishTime > cfg.Deadline {
+				t.Fatalf("DeadlineMet but finish %d > deadline %d", res.FinishTime, cfg.Deadline)
+			}
+			if len(rec.Actions) == 0 || rec.Actions[len(rec.Actions)-1].Kind != ActComplete {
+				t.Fatal("run did not end with a complete action")
+			}
+			tc.check(t, res, s.Degradation(), rec)
+		})
+	}
+}
+
+// TestWatchdogDisabledBlocksIndefinitely pins the opt-in: without a
+// WatchdogGap a stalled feed blocks until the context ends, as before.
+func TestWatchdogDisabledBlocksIndefinitely(t *testing.T) {
+	hist, run := liveWindow(5)
+	cfg := liveConfig(hist)
+	feed := &faults.Injector{
+		Inner:    &TraceFeed{Set: run},
+		Scenario: faults.Scenario{Plans: []faults.Plan{{At: 2, Kind: faults.Stall, Duration: 1, Delay: time.Hour}}},
+	}
+	s, err := New(cfg, coreSingleZone(), feed, &Recorder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := s.Run(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestWatchdogBeforeFirstSample pins the edge case: a stall before any
+// sample arrives surfaces ErrWatchdog — there is no machine to migrate.
+func TestWatchdogBeforeFirstSample(t *testing.T) {
+	hist, run := liveWindow(7)
+	cfg := liveConfig(hist)
+	cfg.WatchdogGap = 30 * time.Millisecond
+	feed := &faults.Injector{
+		Inner:    &TraceFeed{Set: run},
+		Scenario: faults.Scenario{Plans: []faults.Plan{{At: 0, Kind: faults.Stall, Duration: 1, Delay: time.Hour}}},
+	}
+	s, err := New(cfg, coreSingleZone(), feed, &Recorder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want ErrWatchdog", err)
+	}
+}
+
+// TestChanFeedCancellationWins pins satellite 2: a cancelled context
+// wins deterministically even when a row is ready to receive.
+func TestChanFeedCancellationWins(t *testing.T) {
+	rows := make(chan []float64, 1)
+	rows <- []float64{0.3}
+	feed := &ChanFeed{ZoneNames: []string{"a"}, StepSecs: 300, Rows: rows}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := feed.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled despite a ready row", err)
+	}
+}

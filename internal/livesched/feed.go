@@ -61,8 +61,14 @@ func (f *ChanFeed) Zones() []string { return f.ZoneNames }
 // Step implements Feed.
 func (f *ChanFeed) Step() int64 { return f.StepSecs }
 
-// Next implements Feed.
+// Next implements Feed. Cancellation wins deterministically: a context
+// that is already done is honoured before any available row, so a
+// cancelled scheduler never keeps draining (or blocking on) a silent
+// pusher.
 func (f *ChanFeed) Next(ctx context.Context) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	select {
 	case row, ok := <-f.Rows:
 		if !ok {

@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"time"
 
 	"repro/internal/market"
 	"repro/internal/sim"
@@ -126,11 +128,45 @@ type Config struct {
 	Delay market.DelayModel
 	// Seed drives the run's random stream.
 	Seed uint64
+	// WatchdogGap bounds the wall-clock silence the scheduler tolerates
+	// between samples once the run has started. When a gap exceeds it,
+	// the scheduler stops waiting and drives the machine to the paper's
+	// on-demand fallback, so a stalled feed consumes the watchdog bound
+	// — not the deadline margin. 0 disables the watchdog. Deployments
+	// should set it well below the slack D − C and above the feed's
+	// normal inter-sample spacing.
+	WatchdogGap time.Duration
+	// FallbackOnFeedError degrades hard feed failures (exhausted
+	// retries, unexpected stream end) into the on-demand fallback
+	// instead of aborting the run with an error. The deadline guarantee
+	// then holds even when the price feed never comes back.
+	FallbackOnFeedError bool
+}
+
+// Degradation reports the scheduler's degraded-path observations for
+// one run: how often the watchdog fired, how many samples failed
+// validation and were skipped, and how many hard feed errors were
+// absorbed by the on-demand fallback.
+type Degradation struct {
+	// WatchdogTrips counts feed gaps that exceeded WatchdogGap.
+	WatchdogTrips int
+	// InvalidRows counts samples dropped by validation (wrong arity,
+	// non-finite or negative prices).
+	InvalidRows int
+	// FeedErrors counts hard feed failures absorbed by the fallback.
+	FeedErrors int
 }
 
 // ErrFeedEnded reports that the price feed ended before the job
 // finished; the deadline guarantee cannot be maintained without data.
 var ErrFeedEnded = errors.New("livesched: price feed ended before completion")
+
+// ErrWatchdog reports that the feed watchdog tripped: no valid sample
+// arrived within Config.WatchdogGap. Runs configured with a watchdog
+// degrade to on-demand instead of surfacing it; it only escapes Run
+// when the gap opens before the first sample, when no machine exists to
+// migrate.
+var ErrWatchdog = errors.New("livesched: feed watchdog tripped: sample gap exceeded bound")
 
 // Scheduler drives one job to completion against a live feed.
 type Scheduler struct {
@@ -142,7 +178,12 @@ type Scheduler struct {
 	machine *sim.Machine
 	series  []*trace.Series
 	drained int // timeline events already dispatched
+	deg     Degradation
 }
+
+// Degradation returns the degraded-path observations recorded so far;
+// call it after Run for the whole-run picture.
+func (s *Scheduler) Degradation() Degradation { return s.deg }
 
 // New validates the configuration and returns a scheduler ready to Run.
 func New(cfg Config, strat sim.Strategy, feed Feed, act Actuator) (*Scheduler, error) {
@@ -160,11 +201,13 @@ func New(cfg Config, strat sim.Strategy, feed Feed, act Actuator) (*Scheduler, e
 
 // Run executes the job: it blocks until completion, feed end, actuator
 // failure or context cancellation, returning the final result on
-// success.
+// success. With a watchdog or FallbackOnFeedError configured, feed
+// degradation ends the run through the on-demand fallback — still a
+// successful, deadline-honouring result — rather than an error.
 func (s *Scheduler) Run(ctx context.Context) (*sim.Result, error) {
 	// The machine needs at least one price sample to exist before
 	// strategies inspect current prices.
-	first, err := s.feed.Next(ctx)
+	first, err := s.sample(ctx)
 	if err != nil {
 		if err == io.EOF {
 			return nil, ErrFeedEnded
@@ -187,16 +230,83 @@ func (s *Scheduler) Run(ctx context.Context) (*sim.Result, error) {
 			}
 			continue
 		}
-		row, err := s.feed.Next(ctx)
+		row, err := s.sample(ctx)
 		if err != nil {
-			if err == io.EOF {
-				return nil, ErrFeedEnded
-			}
-			return nil, err
+			return s.degrade(ctx, err)
 		}
 		s.append(row)
 	}
 	return s.machine.Result(), nil
+}
+
+// sample fetches the next valid row, skipping rows that fail
+// validation and bounding the wall-clock wait by the watchdog gap.
+func (s *Scheduler) sample(ctx context.Context) ([]float64, error) {
+	for {
+		row, err := s.next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if s.validRow(row) {
+			return row, nil
+		}
+		s.deg.InvalidRows++
+	}
+}
+
+// next is one feed read under the watchdog clock.
+func (s *Scheduler) next(ctx context.Context) ([]float64, error) {
+	if s.cfg.WatchdogGap <= 0 {
+		return s.feed.Next(ctx)
+	}
+	wctx, cancel := context.WithTimeout(ctx, s.cfg.WatchdogGap)
+	defer cancel()
+	row, err := s.feed.Next(wctx)
+	if err != nil && errors.Is(wctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+		return nil, ErrWatchdog
+	}
+	return row, err
+}
+
+// validRow rejects rows a faulty feed could deliver: wrong arity,
+// non-finite or negative prices. Invalid rows are skipped — the 5-minute
+// slot simply goes unsampled, the same observable outcome as a dropped
+// sample — so one corrupted upstream message cannot poison the growing
+// trace the deadline guarantee is computed over.
+func (s *Scheduler) validRow(row []float64) bool {
+	if len(row) != len(s.feed.Zones()) {
+		return false
+	}
+	for _, p := range row {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// degrade ends a started run after a feed failure: watchdog trips
+// always fall back to on-demand (that is the watchdog's contract), hard
+// feed errors do so when FallbackOnFeedError is set, and anything else
+// — including context cancellation — surfaces as before.
+func (s *Scheduler) degrade(ctx context.Context, err error) (*sim.Result, error) {
+	switch {
+	case errors.Is(err, ErrWatchdog):
+		s.deg.WatchdogTrips++
+	case errors.Is(err, context.Canceled) || (errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil):
+		return nil, err
+	case s.cfg.FallbackOnFeedError:
+		s.deg.FeedErrors++
+	case err == io.EOF:
+		return nil, ErrFeedEnded
+	default:
+		return nil, err
+	}
+	res := s.machine.ForceOnDemand()
+	if derr := s.dispatch(ctx); derr != nil {
+		return nil, derr
+	}
+	return res, nil
 }
 
 // start builds the growing trace seeded with the first sample and

@@ -5,22 +5,34 @@ import (
 	"errors"
 	"io"
 	"time"
+
+	"repro/internal/faults"
 )
 
-// RetryFeed decorates a flaky feed with bounded retries and exponential
-// backoff: transient errors (anything other than io.EOF and context
-// cancellation) are retried up to Attempts times per sample before
-// being surfaced. Production feeds — polling HTTP endpoints, websocket
-// reconnects — fail transiently all the time; the scheduler itself
-// should only see hard failures.
+// RetryFeed decorates a flaky feed with bounded retries and capped,
+// jittered exponential backoff: transient errors (anything other than
+// io.EOF and context cancellation) are retried up to Attempts times per
+// sample before being surfaced. Production feeds — polling HTTP
+// endpoints, websocket reconnects — fail transiently all the time; the
+// scheduler itself should only see hard failures. Delays come from the
+// shared faults.Backoff schedule, so a long outage can never double the
+// sleep past the feed's own 5-minute cadence.
 type RetryFeed struct {
 	// Inner is the wrapped feed.
 	Inner Feed
 	// Attempts bounds retries per sample; 0 selects 5.
 	Attempts int
-	// Backoff is the initial delay, doubled per retry; 0 selects 1 s.
+	// Backoff is the initial delay; 0 selects faults.DefaultBase.
 	Backoff time.Duration
-	// Sleep is overridable for tests; nil uses a context-aware timer.
+	// Cap bounds the doubled delay; 0 selects faults.DefaultCap.
+	Cap time.Duration
+	// Jitter is the fractional jitter amplitude; 0 selects
+	// faults.DefaultJitter, negative disables jitter.
+	Jitter float64
+	// Seed selects the deterministic jitter stream.
+	Seed uint64
+	// Sleep is overridable for tests; nil uses the shared
+	// context-aware timer.
 	Sleep func(ctx context.Context, d time.Duration) error
 }
 
@@ -36,20 +48,10 @@ func (f *RetryFeed) Next(ctx context.Context) ([]float64, error) {
 	if attempts <= 0 {
 		attempts = 5
 	}
-	backoff := f.Backoff
-	if backoff <= 0 {
-		backoff = time.Second
-	}
+	b := faults.Backoff{Base: f.Backoff, Cap: f.Cap, Jitter: f.Jitter, Seed: f.Seed}
 	sleep := f.Sleep
 	if sleep == nil {
-		sleep = func(ctx context.Context, d time.Duration) error {
-			select {
-			case <-time.After(d):
-				return nil
-			case <-ctx.Done():
-				return ctx.Err()
-			}
-		}
+		sleep = faults.Sleep
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -62,10 +64,9 @@ func (f *RetryFeed) Next(ctx context.Context) ([]float64, error) {
 		}
 		lastErr = err
 		if attempt+1 < attempts {
-			if serr := sleep(ctx, backoff); serr != nil {
+			if serr := sleep(ctx, b.Delay(attempt)); serr != nil {
 				return nil, serr
 			}
-			backoff *= 2
 		}
 	}
 	return nil, lastErr

@@ -82,7 +82,7 @@ func TestRetryFeedHonoursCancellation(t *testing.T) {
 func TestRetryFeedBackoffDoubles(t *testing.T) {
 	inner := &flakyFeed{failsLeft: 3, rows: [][]float64{{0.3}}}
 	var delays []time.Duration
-	f := &RetryFeed{Inner: inner, Attempts: 5, Backoff: 100 * time.Millisecond,
+	f := &RetryFeed{Inner: inner, Attempts: 5, Backoff: 100 * time.Millisecond, Jitter: -1,
 		Sleep: func(_ context.Context, d time.Duration) error {
 			delays = append(delays, d)
 			return nil
@@ -97,6 +97,58 @@ func TestRetryFeedBackoffDoubles(t *testing.T) {
 	for i := range want {
 		if delays[i] != want[i] {
 			t.Fatalf("delays = %v, want %v", delays, want)
+		}
+	}
+}
+
+func TestRetryFeedBackoffIsCappedAndJittered(t *testing.T) {
+	// Enough failures to double far past the cap: no observed delay may
+	// exceed it, and with jitter enabled the delays must stay within
+	// ±jitter of the uncapped schedule.
+	inner := &flakyFeed{failsLeft: 11, rows: [][]float64{{0.3}}}
+	var delays []time.Duration
+	f := &RetryFeed{Inner: inner, Attempts: 12, Backoff: 100 * time.Millisecond,
+		Cap: 800 * time.Millisecond, Jitter: 0.1, Seed: 42,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			return nil
+		}}
+	if _, err := f.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(delays) != 11 {
+		t.Fatalf("slept %d times, want 11", len(delays))
+	}
+	for i, d := range delays {
+		if d > 800*time.Millisecond {
+			t.Fatalf("delay %d = %v exceeds the 800ms cap", i, d)
+		}
+		if d <= 0 {
+			t.Fatalf("delay %d = %v, want positive", i, d)
+		}
+	}
+	// The tail of the schedule sits at the cap (modulo jitter), never
+	// beyond: an 8-minute sleep from the old unbounded doubling would
+	// have blown straight past the 5-minute sample cadence.
+	last := delays[len(delays)-1]
+	if last < 700*time.Millisecond {
+		t.Fatalf("last delay %v fell below cap-with-jitter floor", last)
+	}
+	// Determinism: an identical feed replays the identical schedule.
+	inner2 := &flakyFeed{failsLeft: 11, rows: [][]float64{{0.3}}}
+	var delays2 []time.Duration
+	f2 := &RetryFeed{Inner: inner2, Attempts: 12, Backoff: 100 * time.Millisecond,
+		Cap: 800 * time.Millisecond, Jitter: 0.1, Seed: 42,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			delays2 = append(delays2, d)
+			return nil
+		}}
+	if _, err := f2.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range delays {
+		if delays[i] != delays2[i] {
+			t.Fatalf("jitter is not deterministic: %v vs %v", delays, delays2)
 		}
 	}
 }

@@ -11,11 +11,15 @@ import (
 // NewHandler returns the service's HTTP API:
 //
 //	POST /v1/quote   — plan request (JSON body) → ranked plan table
-//	GET  /healthz    — liveness probe
+//	GET  /healthz    — liveness probe (503 "degraded" while the
+//	                   history-source breaker is open)
 //	GET  /metrics    — counters and latency quantiles (text)
 //
-// Quote responses carry an X-Quote-Cache header (miss, hit, coalesced);
-// the body itself is byte-identical however it was served.
+// Quote responses carry an X-Quote-Cache header (miss, hit, coalesced,
+// stale); the body itself is byte-identical however it was served.
+// Stale responses — last-known-good plans served while live history is
+// unavailable — additionally carry X-Quote-Stale: true, so degradation
+// is explicit on the wire, never silent.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/quote", func(w http.ResponseWriter, r *http.Request) {
@@ -34,10 +38,18 @@ func NewHandler(s *Service) http.Handler {
 		h.Set("Content-Type", "application/json")
 		h.Set("Content-Length", strconv.Itoa(len(body)))
 		h.Set("X-Quote-Cache", string(status))
+		if status == StatusStale {
+			h.Set("X-Quote-Stale", "true")
+		}
 		w.Write(body)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Degraded() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("degraded: history source unavailable; serving stale plans\n"))
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -52,6 +64,8 @@ func errorCode(ctx context.Context, err error) int {
 	switch {
 	case errors.Is(err, ErrInvalidRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrDegraded):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrHistory):
 		return http.StatusBadGateway
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

@@ -105,6 +105,23 @@ type Metrics struct {
 	Coalesced atomic.Int64
 	// InFlight gauges quote requests currently being processed.
 	InFlight atomic.Int64
+	// StalePlans counts quotes served from the last-known-good store
+	// because live history was unavailable (degraded mode).
+	StalePlans atomic.Int64
+	// BreakerOpens counts circuit-breaker open transitions.
+	BreakerOpens atomic.Int64
+	// BreakerHalfOpens counts half-open probes admitted after a
+	// cooldown.
+	BreakerHalfOpens atomic.Int64
+	// BreakerFastFails counts requests that skipped the history fetch
+	// because the breaker was open.
+	BreakerFastFails atomic.Int64
+	// FeedStaleServes counts history fetches answered from the feed
+	// source's stale cache after an upstream failure.
+	FeedStaleServes atomic.Int64
+	// WatchdogTrips counts feed-source serves whose cached history had
+	// aged past the staleness watchdog bound.
+	WatchdogTrips atomic.Int64
 
 	history *histogram // history-fetch stage latency
 	eval    *histogram // evaluation stage latency
@@ -129,6 +146,12 @@ func (m *Metrics) Render(w io.Writer) {
 	fmt.Fprintf(w, "quoted_cache_misses_total %d\n", m.CacheMisses.Load())
 	fmt.Fprintf(w, "quoted_coalesced_total %d\n", m.Coalesced.Load())
 	fmt.Fprintf(w, "quoted_in_flight %d\n", m.InFlight.Load())
+	fmt.Fprintf(w, "quoted_stale_plans_total %d\n", m.StalePlans.Load())
+	fmt.Fprintf(w, "quoted_breaker_opens_total %d\n", m.BreakerOpens.Load())
+	fmt.Fprintf(w, "quoted_breaker_half_opens_total %d\n", m.BreakerHalfOpens.Load())
+	fmt.Fprintf(w, "quoted_breaker_fast_fails_total %d\n", m.BreakerFastFails.Load())
+	fmt.Fprintf(w, "quoted_feed_stale_serves_total %d\n", m.FeedStaleServes.Load())
+	fmt.Fprintf(w, "quoted_watchdog_trips_total %d\n", m.WatchdogTrips.Load())
 	for _, st := range []struct {
 		name string
 		h    *histogram

@@ -3,6 +3,7 @@ package quote
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -26,7 +27,16 @@ const (
 	// StatusCoalesced: the quote joined an identical in-flight
 	// computation.
 	StatusCoalesced CacheStatus = "coalesced"
+	// StatusStale: live history was unavailable and the quote was
+	// served from the last-known-good store. The HTTP layer flags it
+	// with X-Quote-Stale: true.
+	StatusStale CacheStatus = "stale"
 )
+
+// ErrDegraded reports that the history source is unavailable and no
+// last-known-good plan exists for the request; the HTTP layer maps it
+// to 503.
+var ErrDegraded = errors.New("quote: degraded: history source unavailable and no stale plan cached")
 
 // Service computes ranked execution plans over a history source. Fields
 // are read at first use and must not change afterwards; the zero value
@@ -44,9 +54,14 @@ type Service struct {
 	// Metrics receives counters and latencies; nil selects a private
 	// instance (retrievable via Stats).
 	Metrics *Metrics
+	// Breaker guards the history source; nil selects a default
+	// Breaker. When it opens, requests skip the dead upstream and are
+	// answered from the last-known-good store.
+	Breaker *Breaker
 
 	once    sync.Once
 	cache   *lruCache
+	stale   *lruCache // last-known-good bodies keyed by request only
 	flights flightGroup
 }
 
@@ -66,8 +81,19 @@ func (s *Service) init() {
 		if s.Metrics == nil {
 			s.Metrics = NewMetrics()
 		}
+		if s.Breaker == nil {
+			s.Breaker = &Breaker{}
+		}
 		s.cache = newLRU(s.CacheSize)
+		s.stale = newLRU(s.CacheSize)
 	})
+}
+
+// Degraded reports whether the service is running in degraded mode
+// (history-source breaker open or half-open); /healthz surfaces it.
+func (s *Service) Degraded() bool {
+	s.init()
+	return s.Breaker.Degraded()
 }
 
 // Stats returns the service's metrics sink (allocating it on first
@@ -94,18 +120,34 @@ func (s *Service) Quote(ctx context.Context, req Request) ([]byte, CacheStatus, 
 		return nil, "", err
 	}
 
+	allowed, probe := s.Breaker.Allow()
+	if !allowed {
+		// Open circuit: don't touch the dead upstream; degrade to the
+		// last-known-good plan for this request shape, if any.
+		s.Metrics.BreakerFastFails.Add(1)
+		return s.serveStale(req, nil)
+	}
+	if probe {
+		s.Metrics.BreakerHalfOpens.Add(1)
+	}
+
 	window := int64(math.Round(req.HistoryWindowHours * float64(trace.Hour)))
 	histStart := time.Now()
 	hist, digest, err := s.Source.History(ctx, window)
 	s.Metrics.history.observe(time.Since(histStart).Seconds())
 	if err != nil {
 		s.Metrics.HistoryErrors.Add(1)
-		return nil, "", fmt.Errorf("%w: %v", ErrHistory, err)
+		if s.Breaker.Failure() {
+			s.Metrics.BreakerOpens.Add(1)
+		}
+		return s.serveStale(req, fmt.Errorf("%w: %v", ErrHistory, err))
 	}
+	s.Breaker.Success()
 
 	key := digest + "|" + req.Key()
 	if body, ok := s.cache.get(key); ok {
 		s.Metrics.CacheHits.Add(1)
+		s.stale.add(req.Key(), body)
 		s.Metrics.total.observe(time.Since(start).Seconds())
 		return body, StatusHit, nil
 	}
@@ -139,8 +181,24 @@ func (s *Service) Quote(ctx context.Context, req Request) ([]byte, CacheStatus, 
 		status = StatusCoalesced
 		s.Metrics.Coalesced.Add(1)
 	}
+	s.stale.add(req.Key(), body)
 	s.Metrics.total.observe(time.Since(start).Seconds())
 	return body, status, nil
+}
+
+// serveStale answers a request from the last-known-good store when live
+// history is unavailable. cause is the upstream error to surface when
+// no stale body exists (nil selects ErrDegraded); a served stale body
+// is byte-identical to the response it was recorded from.
+func (s *Service) serveStale(req Request, cause error) ([]byte, CacheStatus, error) {
+	if body, ok := s.stale.get(req.Key()); ok {
+		s.Metrics.StalePlans.Add(1)
+		return body, StatusStale, nil
+	}
+	if cause == nil {
+		cause = ErrDegraded
+	}
+	return nil, "", cause
 }
 
 // compute ranks the permutations and assembles the response.

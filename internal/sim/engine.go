@@ -254,6 +254,21 @@ func (m *Machine) Step() error {
 	return nil
 }
 
+// ForceOnDemand abandons the spot market immediately and finishes the
+// job on the on-demand fallback, exactly as the deadline guard would:
+// the best of a final checkpoint, the last committed checkpoint or a
+// from-scratch restart is migrated on-demand and billed. The live
+// scheduler's feed watchdog calls this when the price feed degrades
+// past the point where waiting for data is safe — firing early only
+// leaves more slack, so the deadline guarantee is preserved. It is a
+// no-op on a finished machine.
+func (m *Machine) ForceOnDemand() *Result {
+	if m.result == nil {
+		m.result = finishViaOnDemand(m.env)
+	}
+	return m.result
+}
+
 // FinishEstimation closes out a guard-disabled run at the end of its
 // trace (billing every running meter as user-terminated) and returns
 // the result. It is how estimation replays and live shutdowns conclude.

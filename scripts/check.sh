@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
-# Repository gate: formatting, vet, build, then the full test suite
-# under the race detector. The suite includes doccheck_test.go
-# (exported-symbol doc coverage) and the golden determinism tests of
-# the replay engine, the parallel permutation evaluator and the quote
-# service, so a green run certifies correctness, bit-for-bit
-# reproducibility of the figures, and byte-identical plan serving.
+# Repository gate: formatting, vet, build, the full test suite under
+# the race detector, then a short chaos soak. The suite includes
+# doccheck_test.go (exported-symbol doc coverage) and the golden
+# determinism tests of the replay engine, the parallel permutation
+# evaluator and the quote service, so a green run certifies
+# correctness, bit-for-bit reproducibility of the figures, and
+# byte-identical plan serving. The soak replays the live pipeline
+# through 20 seeded fault scenarios and fails on a missed deadline
+# without fallback, ledger inconsistency, goroutine leaks or
+# nondeterminism.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,3 +22,4 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+go run ./cmd/chaossim -runs 20 -seed 1
