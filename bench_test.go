@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/market"
 	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -468,12 +469,55 @@ func BenchmarkAdaptiveDecision(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveDecisionObs is BenchmarkAdaptiveDecision with span
+// tracing enabled on both the run and its inner Evaluator replays; the
+// pair bounds the observability overhead (scripts/bench.sh computes the
+// percentage into BENCH_obs.json).
+func BenchmarkAdaptiveDecisionObs(b *testing.B) {
+	tracer := obs.NewTracer(obs.DefaultSpanCapacity)
+	cfg := ablationConfig(market.FixedDelay(300))
+	cfg.ObsTrace = tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := core.NewAdaptive()
+		a.Eval = &core.Evaluator{Trace: tracer}
+		if _, err := sim.Run(cfg, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMachineReset times re-arming a pooled machine and driving a
 // full single-zone run on it, the Evaluator's steady-state replay cycle;
 // allocs/op is the headline (a fresh NewMachine pays the full engine
 // allocation every run).
 func BenchmarkMachineReset(b *testing.B) {
 	cfg := ablationConfig(market.FixedDelay(300))
+	m, err := sim.AcquireMachine(cfg, core.SingleZone(core.NewPeriodic(), 0.81, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sim.ReleaseMachine(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Reset(cfg, core.SingleZone(core.NewPeriodic(), 0.81, 0)); err != nil {
+			b.Fatal(err)
+		}
+		for !m.Done() {
+			if err := m.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMachineResetObs is BenchmarkMachineReset with span tracing
+// enabled on the machine's config, the worst case for the engine's
+// per-run span records.
+func BenchmarkMachineResetObs(b *testing.B) {
+	cfg := ablationConfig(market.FixedDelay(300))
+	cfg.ObsTrace = obs.NewTracer(obs.DefaultSpanCapacity)
 	m, err := sim.AcquireMachine(cfg, core.SingleZone(core.NewPeriodic(), 0.81, 0))
 	if err != nil {
 		b.Fatal(err)

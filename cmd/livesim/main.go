@@ -26,6 +26,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/livesched"
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spotapi"
 	"repro/internal/trace"
@@ -47,7 +48,13 @@ func main() {
 	serve := flag.Bool("serve", false, "serve the history over HTTP (AWS format) and consume it through the spotapi client")
 	watchdog := flag.Duration("watchdog", 0, "feed watchdog gap: a sample gap past this drives the run to the on-demand fallback (0 disables)")
 	chaos := flag.Uint64("chaos", 0, "inject a seeded fault scenario (stalls, drops, corruption, blackouts) into the feed; 0 disables")
+	spans := flag.Int("spans", 0, "record simulated-time spans (run, guard, fallback, decisions) into a ring of this size and print them after the run (0: disabled)")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *spans > 0 {
+		tracer = obs.NewTracer(*spans)
+	}
 
 	set, err := buildSet(*preset, *seed)
 	if err != nil {
@@ -74,7 +81,7 @@ func main() {
 		run = fetched
 	}
 
-	strat, err := buildStrategy(*policy, *bid, *n, run.NumZones())
+	strat, err := buildStrategy(*policy, *bid, *n, run.NumZones(), tracer)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,6 +114,7 @@ func main() {
 		Seed:                *seed,
 		WatchdogGap:         *watchdog,
 		FallbackOnFeedError: *chaos != 0,
+		Trace:               tracer,
 	}, strat, feed, livesched.LogActuator{W: os.Stdout})
 	if err != nil {
 		log.Fatal(err)
@@ -121,6 +129,29 @@ func main() {
 	if deg := sched.Degradation(); deg != (livesched.Degradation{}) {
 		fmt.Printf("degradation: watchdog trips %d, invalid rows skipped %d, feed errors absorbed %d\n",
 			deg.WatchdogTrips, deg.InvalidRows, deg.FeedErrors)
+	}
+	if tracer != nil {
+		printSpans(tracer)
+	}
+}
+
+// printSpans dumps the recorded span trail, oldest first, with
+// simulated-time spans rendered in hours.
+func printSpans(tracer *obs.Tracer) {
+	spans := tracer.Spans()
+	fmt.Printf("\ntrace: %d spans recorded (ring holds %d)\n", tracer.Total(), len(spans))
+	for _, s := range spans {
+		attrs := ""
+		for _, a := range s.Attrs {
+			attrs += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+		}
+		if s.Clock == obs.SimClock {
+			fmt.Printf("  [%6.2fh → %6.2fh] %-24s%s\n",
+				float64(s.Start)/float64(trace.Hour), float64(s.End)/float64(trace.Hour), s.Name, attrs)
+		} else {
+			fmt.Printf("  [%s] %-24s%s\n",
+				time.Duration(s.End-s.Start).Round(time.Microsecond), s.Name, attrs)
+		}
 	}
 }
 
@@ -146,9 +177,11 @@ func buildSet(preset string, seed uint64) (*trace.Set, error) {
 	}
 }
 
-func buildStrategy(policy string, bid float64, n, zones int) (sim.Strategy, error) {
+func buildStrategy(policy string, bid float64, n, zones int, tracer *obs.Tracer) (sim.Strategy, error) {
 	if policy == "adaptive" {
-		return core.NewAdaptive(), nil
+		a := core.NewAdaptive()
+		a.Eval = &core.Evaluator{Trace: tracer}
+		return a, nil
 	}
 	if n < 1 || n > zones {
 		return nil, fmt.Errorf("n must be in 1..%d", zones)

@@ -1,7 +1,9 @@
 // Command pricefeedd serves a synthetic spot price history over HTTP in
 // the AWS DescribeSpotPriceHistory document format, for driving the
 // live scheduler (cmd/livesim) or any spotapi.Client consumer without
-// cloud access. It shuts down gracefully on SIGINT/SIGTERM.
+// cloud access. It shuts down gracefully on SIGINT/SIGTERM. With
+// -trace-spans N requests are traced into a ring served at
+// /debug/trace; -pprof mounts net/http/pprof under /debug/pprof/.
 //
 // Usage:
 //
@@ -13,11 +15,13 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/obs"
 	"repro/internal/spotapi"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -31,6 +35,8 @@ func main() {
 	preset := flag.String("preset", "high", "trace preset: low, high, low-spike, year")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	epochStr := flag.String("epoch", "2013-03-01T00:00:00Z", "wall-clock time of the first sample (RFC 3339)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	traceSpans := flag.Int("trace-spans", 0, "trace request spans into a ring of this size, served at /debug/trace (0: disabled)")
 	flag.Parse()
 
 	var set *trace.Set
@@ -51,7 +57,15 @@ func main() {
 		log.Fatalf("bad -epoch: %v", err)
 	}
 
-	srv := httpx.NewServer(*addr, spotapi.Handler(set, epoch))
+	var tracer *obs.Tracer
+	if *traceSpans > 0 {
+		tracer = obs.NewTracer(*traceSpans)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", httpx.Wrap(spotapi.Handler(set, epoch), tracer))
+	obs.Mount(mux, tracer, *pprofOn)
+
+	srv := httpx.NewServer(*addr, mux)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 

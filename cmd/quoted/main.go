@@ -7,7 +7,10 @@
 // History comes from a pricefeedd-style endpoint (-feed URL) or a
 // built-in synthetic generator (-preset/-seed). The server is hardened
 // (header/read/idle timeouts), drains gracefully on SIGINT/SIGTERM, and
-// exposes /metrics and /healthz.
+// exposes /metrics and /healthz. With -trace-spans N every request is
+// traced end-to-end (request → history fetch → evaluation) into a ring
+// of N spans served at /debug/trace; -pprof mounts net/http/pprof under
+// /debug/pprof/.
 //
 // Usage:
 //
@@ -38,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/httpx"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/quote"
 	"repro/internal/spotapi"
@@ -61,7 +65,14 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", quote.DefaultBreakerCooldown, "open-breaker period before a half-open probe")
 	selfbench := flag.Int("selfbench", 0, "run the load generator with this many concurrent clients instead of serving")
 	benchDur := flag.Duration("bench-duration", 5*time.Second, "load generator run time")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	traceSpans := flag.Int("trace-spans", 0, "trace request/evaluation spans into a ring of this size, served at /debug/trace (0: disabled)")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *traceSpans > 0 {
+		tracer = obs.NewTracer(*traceSpans)
+	}
 
 	metrics := quote.NewMetrics()
 	var source quote.HistorySource
@@ -88,13 +99,19 @@ func main() {
 
 	svc := &quote.Service{
 		Source:    source,
-		Eval:      &core.Evaluator{Workers: *workers},
+		Eval:      &core.Evaluator{Workers: *workers, Trace: tracer},
 		Gate:      pool.NewGate(*maxInflight),
 		CacheSize: *cacheSize,
 		Metrics:   metrics,
 		Breaker:   &quote.Breaker{Threshold: *breakerFails, Cooldown: *breakerCooldown},
 	}
-	handler := quote.NewHandler(svc)
+	// The API handler is wrapped with request tracing; the debug surface
+	// (/debug/trace, /debug/pprof/) mounts beside it, outside the traced
+	// path.
+	mux := http.NewServeMux()
+	mux.Handle("/", httpx.Wrap(quote.NewHandler(svc), tracer))
+	obs.Mount(mux, tracer, *pprofOn)
+	handler := http.Handler(mux)
 
 	if *selfbench > 0 {
 		if err := runSelfbench(svc, handler, *selfbench, *benchDur); err != nil {

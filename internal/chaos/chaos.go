@@ -30,6 +30,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/livesched"
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -57,6 +58,10 @@ type Config struct {
 	WatchdogGap time.Duration
 	// Log, when set, receives one line per run.
 	Log io.Writer
+	// Trace, when non-nil, receives the schedulers' simulated-time spans
+	// (runs, degraded-path events, fallback transitions) across the
+	// soak.
+	Trace *obs.Tracer
 }
 
 // RunReport is the outcome of one soaked scenario.
@@ -185,6 +190,7 @@ func soakOne(ctx context.Context, cfg Config, seed uint64) (*RunReport, error) {
 		Seed:                seed,
 		WatchdogGap:         cfg.WatchdogGap,
 		FallbackOnFeedError: true,
+		Trace:               cfg.Trace,
 	}, strat, feed, rec)
 	if err != nil {
 		return nil, err

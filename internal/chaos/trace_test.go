@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSoakTracesWatchdogFallback is the observability acceptance test:
+// a chaos scenario whose injected stall trips the feed watchdog (seed 3
+// under the default preset, deterministic) must leave a span trail
+// showing the degraded transition — the watchdog trip, then the
+// machine's forced on-demand migration at the same simulated time, then
+// the completed run.
+func TestSoakTracesWatchdogFallback(t *testing.T) {
+	tracer := obs.NewTracer(256)
+	rep, err := Soak(context.Background(), Config{Seed: 3, Runs: 1, Trace: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WatchdogTrips == 0 {
+		t.Fatalf("seed 3 no longer trips the watchdog; pick a tripping seed (report: %+v)", rep)
+	}
+
+	spans := tracer.Spans()
+	trip, force, run := -1, -1, -1
+	for i, s := range spans {
+		switch s.Name {
+		case "livesched.watchdog-trip":
+			if trip < 0 {
+				trip = i
+			}
+		case "sim.force-on-demand":
+			if force < 0 {
+				force = i
+			}
+		case "sim.run":
+			if run < 0 {
+				run = i
+			}
+		}
+		if s.Clock != obs.SimClock {
+			t.Errorf("span %q has clock %q, want %q", s.Name, s.Clock, obs.SimClock)
+		}
+	}
+	if trip < 0 {
+		t.Fatal("no livesched.watchdog-trip span recorded")
+	}
+	if force < 0 {
+		t.Fatal("no sim.force-on-demand span recorded")
+	}
+	if run < 0 {
+		t.Fatal("no sim.run span recorded")
+	}
+	if !(trip < force && force < run) {
+		t.Fatalf("span order trip=%d force=%d run=%d; want watchdog-trip before force-on-demand before run", trip, force, run)
+	}
+	if spans[trip].Start != spans[force].Start {
+		t.Errorf("trip at sim time %d but migration at %d; the fallback must fire at the trip's step",
+			spans[trip].Start, spans[force].Start)
+	}
+	if spans[run].End < spans[force].Start {
+		t.Errorf("run span ends at %d, before the migration at %d", spans[run].End, spans[force].Start)
+	}
+}

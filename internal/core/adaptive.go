@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/market"
 	"repro/internal/markov"
@@ -341,8 +342,23 @@ func withSharedCache(p sim.CheckpointPolicy, cache *PredictorCache) sim.Checkpoi
 }
 
 // pick evaluates every permutation and returns the least-predicted-cost
-// spec.
+// spec, tracing the decision with its chosen (bid, n, policy).
 func (a *Adaptive) pick(env *sim.Env) sim.RunSpec {
+	span := a.evaluator().Trace.Start("adaptive.decision")
+	spec := a.pickSpec(env)
+	if span.Recording() {
+		span.SetAttr("bid", strconv.FormatFloat(spec.Bid, 'g', -1, 64))
+		span.SetAttr("zones", strconv.Itoa(len(spec.Zones)))
+		if spec.Policy != nil {
+			span.SetAttr("policy", spec.Policy.Name())
+		}
+	}
+	span.End()
+	return spec
+}
+
+// pickSpec is pick's decision body.
+func (a *Adaptive) pickSpec(env *sim.Env) sim.RunSpec {
 	hist := historySet(env, a.window())
 	ordered := zonesByPrice(env)
 	cr := env.RemainingWork()

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"strconv"
 	"sync"
 
 	"repro/internal/market"
 	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/pool"
 	"repro/internal/sim"
@@ -22,6 +24,10 @@ import (
 type Evaluator struct {
 	// Workers bounds the evaluation fan-out; 0 selects GOMAXPROCS.
 	Workers int
+	// Trace, when non-nil, receives wall-clock spans for sweeps and
+	// rankings plus a simulated-time span per estimation replay. Nil
+	// disables tracing at zero cost.
+	Trace *obs.Tracer
 }
 
 // NewEvaluator returns an evaluator with default parallelism.
@@ -59,8 +65,13 @@ func (ev *Evaluator) Measure(hist *trace.Set, spec sim.RunSpec, tc, tr int64) es
 	if span <= 0 {
 		return estimate{}
 	}
+	// The replay machines deliberately do NOT inherit ev.Trace: a sweep
+	// replays hundreds of throwaway permutations, and per-replay sim.run
+	// spans would flood the ring and blow the overhead budget. The sweep
+	// is summarized by the eval.sweep span instead.
+	cfg := estimationCfg(hist, tc, tr)
 	var est estimate
-	err := sim.RunPooled(estimationCfg(hist, tc, tr), NewStatic("estimate", spec), func(res *sim.Result) {
+	err := sim.RunPooled(cfg, NewStatic("estimate", spec), func(res *sim.Result) {
 		est = estimate{
 			progressRate: float64(res.MaxProgress) / span,
 			costRate:     res.Cost / span,
@@ -77,10 +88,15 @@ func (ev *Evaluator) Measure(hist *trace.Set, spec sim.RunSpec, tc, tr int64) es
 // must carry its own policy instance (policies hold run state); policy
 // instances may share a thread-safe PredictorCache.
 func (ev *Evaluator) MeasureAll(hist *trace.Set, specs []sim.RunSpec, tc, tr int64) []estimate {
+	sweep := ev.Trace.Start("eval.sweep")
+	if sweep.Recording() {
+		sweep.SetAttr("specs", strconv.Itoa(len(specs)))
+	}
 	out := make([]estimate, len(specs))
 	pool.Run(ev.Workers, len(specs), func(i int) {
 		out[i] = ev.Measure(hist, specs[i], tc, tr)
 	})
+	sweep.End()
 	return out
 }
 
@@ -98,6 +114,8 @@ type zoneAnalysis struct {
 // degree. The result is indexed [zone][bid]; zones whose history cannot
 // fit a chain are marked not-ok.
 func (ev *Evaluator) AnalyzeZones(env *sim.Env, bids []float64, span int64, quantum float64, ov opt.Overheads) []zoneAnalysis {
+	asp := ev.Trace.Start("eval.analyze-zones")
+	defer asp.End()
 	nz := len(env.Zones)
 	out := make([]zoneAnalysis, nz)
 	chains := make([]*markov.Model, nz)

@@ -140,6 +140,8 @@ func predictFinish(e estimate, cr, tr, migration int64) int64 {
 // request (fixed estimation seed, order-preserving fan-out), so
 // identical requests yield identical plans regardless of worker count.
 func (ev *Evaluator) Rank(req PlanRequest) ([]Plan, error) {
+	rsp := ev.Trace.Start("eval.rank")
+	defer rsp.End()
 	if err := req.validate(); err != nil {
 		return nil, err
 	}

@@ -26,15 +26,36 @@ const (
 	DefaultGrace = 5 * time.Second
 )
 
+// Timeouts is an overridable server timeout policy, for tests that
+// need aggressive bounds without waiting out the production constants.
+type Timeouts struct {
+	// ReadHeader bounds reading the request headers.
+	ReadHeader time.Duration
+	// Read bounds reading the whole request.
+	Read time.Duration
+	// Idle reaps abandoned keep-alive connections.
+	Idle time.Duration
+}
+
+// DefaultTimeouts returns the repository's standard policy.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{ReadHeader: ReadHeaderTimeout, Read: ReadTimeout, Idle: IdleTimeout}
+}
+
 // NewServer returns an http.Server with the repository's standard
 // timeouts applied.
 func NewServer(addr string, h http.Handler) *http.Server {
+	return NewServerWith(addr, h, DefaultTimeouts())
+}
+
+// NewServerWith is NewServer with an explicit timeout policy.
+func NewServerWith(addr string, h http.Handler, to Timeouts) *http.Server {
 	return &http.Server{
 		Addr:              addr,
 		Handler:           h,
-		ReadHeaderTimeout: ReadHeaderTimeout,
-		ReadTimeout:       ReadTimeout,
-		IdleTimeout:       IdleTimeout,
+		ReadHeaderTimeout: to.ReadHeader,
+		ReadTimeout:       to.Read,
+		IdleTimeout:       to.Idle,
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -141,6 +142,10 @@ type Config struct {
 	// instead of aborting the run with an error. The deadline guarantee
 	// then holds even when the price feed never comes back.
 	FallbackOnFeedError bool
+	// Trace, when non-nil, receives simulated-time spans for the run,
+	// its guard/fallback transitions and the degraded-path events
+	// (watchdog trips, absorbed feed errors).
+	Trace *obs.Tracer
 }
 
 // Degradation reports the scheduler's degraded-path observations for
@@ -293,10 +298,12 @@ func (s *Scheduler) degrade(ctx context.Context, err error) (*sim.Result, error)
 	switch {
 	case errors.Is(err, ErrWatchdog):
 		s.deg.WatchdogTrips++
+		s.degradeSpan("livesched.watchdog-trip")
 	case errors.Is(err, context.Canceled) || (errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil):
 		return nil, err
 	case s.cfg.FallbackOnFeedError:
 		s.deg.FeedErrors++
+		s.degradeSpan("livesched.feed-error")
 	case err == io.EOF:
 		return nil, ErrFeedEnded
 	default:
@@ -307,6 +314,16 @@ func (s *Scheduler) degrade(ctx context.Context, err error) (*sim.Result, error)
 		return nil, derr
 	}
 	return res, nil
+}
+
+// degradeSpan records one instantaneous degraded-path span at the
+// machine's current simulated time.
+func (s *Scheduler) degradeSpan(name string) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	now := s.machine.Env().Now
+	s.cfg.Trace.Record(obs.Span{Name: name, Clock: obs.SimClock, Start: now, End: now})
 }
 
 // start builds the growing trace seeded with the first sample and
@@ -334,6 +351,7 @@ func (s *Scheduler) start(first []float64) error {
 		Delay:          s.cfg.Delay,
 		Seed:           s.cfg.Seed,
 		RecordTimeline: true, // actions derive from the timeline
+		ObsTrace:       s.cfg.Trace,
 	}
 	m, err := sim.NewMachine(cfg, s.st)
 	if err != nil {

@@ -1,0 +1,155 @@
+package livesched
+
+import (
+	"context"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseRow covers the accepted formats and every rejection class.
+func TestParseRow(t *testing.T) {
+	cases := []struct {
+		name  string
+		line  string
+		zones int
+		want  []float64
+		ok    bool
+		skip  bool // blank/comment: (nil, nil)
+	}{
+		{name: "comma", line: "0.12,0.34", zones: 2, want: []float64{0.12, 0.34}, ok: true},
+		{name: "whitespace", line: " 0.12\t0.34 ", zones: 2, want: []float64{0.12, 0.34}, ok: true},
+		{name: "mixed separators", line: "0.12, 0.34", zones: 2, want: []float64{0.12, 0.34}, ok: true},
+		{name: "trailing comment", line: "0.12,0.34 # spike", zones: 2, want: []float64{0.12, 0.34}, ok: true},
+		{name: "zero price", line: "0", zones: 1, want: []float64{0}, ok: true},
+		{name: "scientific", line: "1e-3", zones: 1, want: []float64{0.001}, ok: true},
+		{name: "blank", line: "", zones: 2, ok: true, skip: true},
+		{name: "comment only", line: "# header", zones: 2, ok: true, skip: true},
+		{name: "wrong arity low", line: "0.12", zones: 2},
+		{name: "wrong arity high", line: "0.1,0.2,0.3", zones: 2},
+		{name: "negative", line: "-0.1,0.2", zones: 2},
+		{name: "nan", line: "NaN,0.2", zones: 2},
+		{name: "inf", line: "+Inf,0.2", zones: 2},
+		{name: "garbage", line: "abc,0.2", zones: 2},
+		{name: "zero zones", line: "0.1", zones: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			row, err := ParseRow(tc.line, tc.zones)
+			if tc.ok && err != nil {
+				t.Fatalf("ParseRow(%q, %d) = %v, want ok", tc.line, tc.zones, err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("ParseRow(%q, %d) accepted, want error", tc.line, tc.zones)
+				}
+				return
+			}
+			if tc.skip {
+				if row != nil {
+					t.Fatalf("skippable line yielded row %v", row)
+				}
+				return
+			}
+			if len(row) != len(tc.want) {
+				t.Fatalf("row = %v, want %v", row, tc.want)
+			}
+			for i := range row {
+				if row[i] != tc.want[i] {
+					t.Fatalf("row = %v, want %v", row, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestLineFeed streams a fixture with comments, blanks and corrupted
+// lines interleaved and checks the clean rows come through in order
+// with the damage counted, then EOF.
+func TestLineFeed(t *testing.T) {
+	input := strings.Join([]string{
+		"# zone-a zone-b",
+		"0.10,0.20",
+		"",
+		"0.11,bogus", // malformed: skipped and counted
+		"0.12,0.22",
+		"0.13",  // wrong arity: skipped and counted
+		"-1,-1", // negative: skipped and counted
+		"0.14,0.24 # tail comment",
+	}, "\n")
+	f := &LineFeed{ZoneNames: []string{"a", "b"}, StepSecs: 300, R: strings.NewReader(input)}
+	if got := f.Step(); got != 300 {
+		t.Fatalf("step = %d", got)
+	}
+	var rows [][]float64
+	for {
+		row, err := f.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		rows = append(rows, row)
+	}
+	want := [][]float64{{0.10, 0.20}, {0.12, 0.22}, {0.14, 0.24}}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows %v, want %d", len(rows), rows, len(want))
+	}
+	for i := range want {
+		if rows[i][0] != want[i][0] || rows[i][1] != want[i][1] {
+			t.Fatalf("rows[%d] = %v, want %v", i, rows[i], want[i])
+		}
+	}
+	if f.Malformed != 3 {
+		t.Fatalf("malformed = %d, want 3", f.Malformed)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Next(ctx); err != context.Canceled {
+		t.Fatalf("cancelled Next = %v, want context.Canceled", err)
+	}
+}
+
+// FuzzRowParser throws arbitrary lines and arities at ParseRow and
+// checks the invariants the scheduler depends on: no panic, and any
+// accepted row has exactly the requested arity with only finite,
+// non-negative prices.
+func FuzzRowParser(f *testing.F) {
+	f.Add("0.12,0.34", 2)
+	f.Add(" 0.12\t0.34 ", 2)
+	f.Add("0.12,0.34 # comment", 2)
+	f.Add("", 1)
+	f.Add("# only", 3)
+	f.Add("NaN", 1)
+	f.Add("-0", 1)
+	f.Add("+Inf,-Inf", 2)
+	f.Add("1e309", 1)
+	f.Add("0x1p-2", 1)
+	f.Add("0.1,0.2,0.3", 2)
+	f.Add(strings.Repeat("1,", 100)+"1", 101)
+	f.Fuzz(func(t *testing.T, line string, zones int) {
+		row, err := ParseRow(line, zones)
+		if err != nil {
+			if row != nil {
+				t.Fatalf("error %v with non-nil row %v", err, row)
+			}
+			return
+		}
+		if row == nil {
+			return // blank/comment line
+		}
+		if zones <= 0 {
+			t.Fatalf("accepted row with non-positive zones %d", zones)
+		}
+		if len(row) != zones {
+			t.Fatalf("accepted row has %d prices for %d zones", len(row), zones)
+		}
+		for _, p := range row {
+			if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+				t.Fatalf("accepted out-of-range price %v in %q", p, line)
+			}
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package obs
+
+import "testing"
+
+// BenchmarkCounterAdd measures the counter fast path (must report 0
+// allocs/op).
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkHistogramObserve measures the histogram fast path (must
+// report 0 allocs/op).
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+// BenchmarkHistogramObserveParallel measures contended observes.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram(nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.003)
+		}
+	})
+}
+
+// BenchmarkSpanStartEnd measures a full wall span lifecycle.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := NewTracer(DefaultSpanCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Start("op").End()
+	}
+}
+
+// BenchmarkTracerRecord measures the one-shot sim-span path used by the
+// replay engine.
+func BenchmarkTracerRecord(b *testing.B) {
+	tr := NewTracer(DefaultSpanCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(Span{Name: "sim.run", Clock: SimClock, Start: 0, End: 3600})
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// traceDump is the /debug/trace response document.
+type traceDump struct {
+	// Total counts spans ever recorded, including overwritten ones.
+	Total uint64 `json:"total"`
+	// Capacity is the ring capacity.
+	Capacity int `json:"capacity"`
+	// Spans is the ring's current contents, oldest first.
+	Spans []Span `json:"spans"`
+}
+
+// TraceHandler serves the tracer's ring buffer as a JSON document:
+// {"total": N, "capacity": C, "spans": [...]}, oldest span first. Mount
+// it at /debug/trace.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(traceDump{Total: t.Total(), Capacity: t.Capacity(), Spans: t.Spans()})
+	})
+}
+
+// PProfHandler returns the net/http/pprof suite rooted at
+// /debug/pprof/, for explicit mounting on a daemon's mux (nothing is
+// registered on http.DefaultServeMux by this package).
+func PProfHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Mount attaches the debug endpoints to mux: /debug/trace when tracer
+// is non-nil, and the /debug/pprof suite when enablePProf is set.
+func Mount(mux *http.ServeMux, tracer *Tracer, enablePProf bool) {
+	if tracer != nil {
+		mux.Handle("GET /debug/trace", TraceHandler(tracer))
+	}
+	if enablePProf {
+		mux.Handle("/debug/pprof/", PProfHandler())
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestTraceHandler checks /debug/trace serves the ring as JSON with
+// total, capacity and oldest-first spans.
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start("quote.request")
+	sp.SetAttr("cache", "hit")
+	sp.End()
+	tr.Record(Span{Name: "sim.run", Clock: SimClock, Start: 0, End: 3600})
+
+	rec := httptest.NewRecorder()
+	TraceHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var dump struct {
+		Total    uint64 `json:"total"`
+		Capacity int    `json:"capacity"`
+		Spans    []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dump.Total != 2 || dump.Capacity != 8 || len(dump.Spans) != 2 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if dump.Spans[0].Name != "quote.request" || dump.Spans[1].Clock != SimClock {
+		t.Fatalf("spans = %+v", dump.Spans)
+	}
+}
+
+// TestMount checks Mount wires /debug/trace and the pprof suite onto a
+// private mux, and omits them when disabled.
+func TestMount(t *testing.T) {
+	mux := http.NewServeMux()
+	tr := NewTracer(4)
+	Mount(mux, tr, true)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/trace", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	bare := http.NewServeMux()
+	Mount(bare, nil, false)
+	rec := httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled /debug/trace = %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled /debug/pprof/ = %d, want 404", rec.Code)
+	}
+}
+
+// TestPProfIndex checks the pprof index actually renders profiles (the
+// handler is mounted explicitly, not via DefaultServeMux).
+func TestPProfIndex(t *testing.T) {
+	rec := httptest.NewRecorder()
+	PProfHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof index = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index missing profiles: %.200s", rec.Body.String())
+	}
+}

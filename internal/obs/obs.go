@@ -1,0 +1,25 @@
+// Package obs is the repository's unified observability layer: a
+// stdlib-only metrics registry (lock-free counters, gauges and
+// quantile-estimating histograms rendered in the Prometheus text
+// exposition format), span-based tracing with a fixed-capacity
+// ring-buffer exporter, and the HTTP debug surface (/debug/trace,
+// /debug/pprof) the daemons mount behind flags.
+//
+// The design goals, in order:
+//
+//   - Zero-allocation, lock-free fast paths. Counter.Add, Gauge.Add and
+//     Histogram.Observe are single atomic operations so they can sit on
+//     the evaluator's permutation-sweep and the engine's replay hot
+//     paths without moving the benchmarks.
+//   - Nil-safety everywhere. A nil *Tracer records nothing and a zero
+//     ActiveSpan is inert, so instrumented code never branches on
+//     whether observability is enabled.
+//   - Two clocks. HTTP-facing spans are stamped in wall-clock
+//     nanoseconds; replay and evaluation spans are stamped in simulated
+//     seconds, so a trace of a planning request lines up with the
+//     simulated windows it replayed.
+//
+// The quote service's /metrics endpoint renders through a Registry and
+// stays byte-compatible with the pre-registry exposition; a golden test
+// in internal/quote pins that.
+package obs

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span clocks. Wall spans stamp nanoseconds since the Unix epoch; sim
+// spans stamp seconds of simulated time, so replay spans line up with
+// the trace windows they covered rather than with the wall clock of the
+// machine that replayed them.
+const (
+	// WallClock marks wall-clock spans (nanoseconds since the epoch).
+	WallClock = "wall"
+	// SimClock marks simulated-time spans (seconds of simulated time).
+	SimClock = "sim"
+)
+
+// Attr is one span annotation.
+type Attr struct {
+	// Key names the attribute.
+	Key string `json:"k"`
+	// Value is the attribute value.
+	Value string `json:"v"`
+}
+
+// Span is one completed traced operation. IDs are process-unique;
+// Parent links child spans to the span they were started under, and
+// Trace groups every span of one request.
+type Span struct {
+	// Trace groups the spans of one root operation.
+	Trace uint64 `json:"trace,omitempty"`
+	// ID is the span's process-unique id (assigned by Record if zero).
+	ID uint64 `json:"id,omitempty"`
+	// Parent is the enclosing span's ID, zero for roots.
+	Parent uint64 `json:"parent,omitempty"`
+	// Name identifies the operation (e.g. "quote.eval", "sim.run").
+	Name string `json:"name"`
+	// Clock is WallClock or SimClock.
+	Clock string `json:"clock"`
+	// Start and End are timestamps in the span's clock.
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	// Attrs carries optional annotations.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Tracer records completed spans into a fixed-capacity ring buffer:
+// recording never blocks on an exporter and never grows memory — once
+// the ring is full the oldest spans are overwritten. A nil *Tracer is
+// valid and records nothing, so instrumented code needs no enabled
+// checks. A Tracer is safe for concurrent use.
+type Tracer struct {
+	ids   atomic.Uint64
+	mu    sync.Mutex
+	buf   []Span
+	next  int // write cursor once the ring has wrapped
+	total uint64
+}
+
+// DefaultSpanCapacity is the ring capacity NewTracer selects for
+// non-positive requests.
+const DefaultSpanCapacity = 4096
+
+// NewTracer returns a tracer whose ring holds capacity spans
+// (non-positive selects DefaultSpanCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{buf: make([]Span, 0, capacity)}
+}
+
+// Record appends one completed span to the ring, assigning its ID (and
+// Trace, for roots) if unset. It is nil-safe and safe for concurrent
+// use.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	if s.ID == 0 {
+		s.ID = t.ids.Add(1)
+	}
+	if s.Trace == 0 {
+		s.Trace = s.ID
+	}
+	if s.Clock == "" {
+		s.Clock = WallClock
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s)
+	} else {
+		t.buf[t.next] = s
+		t.next = (t.next + 1) % len(t.buf)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the ring's contents, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Total returns how many spans have ever been recorded (including those
+// the ring has since overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Capacity returns the ring capacity (0 for a nil tracer).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.buf)
+}
+
+// ActiveSpan is an in-progress wall-clock span. The zero value is inert
+// — every method is a no-op — which is what FromContext and a nil
+// tracer's Start return, so callers never branch on tracing being
+// enabled.
+type ActiveSpan struct {
+	t *Tracer
+	s *Span
+}
+
+// Start begins a wall-clock root span. On a nil tracer it returns the
+// inert zero ActiveSpan.
+func (t *Tracer) Start(name string) ActiveSpan {
+	if t == nil {
+		return ActiveSpan{}
+	}
+	id := t.ids.Add(1)
+	return ActiveSpan{t: t, s: &Span{
+		Trace: id, ID: id, Name: name, Clock: WallClock, Start: time.Now().UnixNano(),
+	}}
+}
+
+// Child begins a wall-clock span under a.
+func (a ActiveSpan) Child(name string) ActiveSpan {
+	if a.t == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{t: a.t, s: &Span{
+		Trace: a.s.Trace, ID: a.t.ids.Add(1), Parent: a.s.ID,
+		Name: name, Clock: WallClock, Start: time.Now().UnixNano(),
+	}}
+}
+
+// SetAttr annotates the span. Attributes set after End are lost.
+func (a ActiveSpan) SetAttr(key, value string) {
+	if a.t == nil {
+		return
+	}
+	a.s.Attrs = append(a.s.Attrs, Attr{Key: key, Value: value})
+}
+
+// End stamps the span's end time and records it.
+func (a ActiveSpan) End() {
+	if a.t == nil {
+		return
+	}
+	a.s.End = time.Now().UnixNano()
+	a.t.Record(*a.s)
+}
+
+// Recording reports whether the span is backed by a tracer.
+func (a ActiveSpan) Recording() bool { return a.t != nil }
+
+// ctxKey keys the active span in a context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the span, for handlers to hang child
+// spans off.
+func NewContext(ctx context.Context, s ActiveSpan) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the context's active span, or the inert zero
+// ActiveSpan when none (or a nil context) is present.
+func FromContext(ctx context.Context) ActiveSpan {
+	if ctx == nil {
+		return ActiveSpan{}
+	}
+	s, _ := ctx.Value(ctxKey{}).(ActiveSpan)
+	return s
+}

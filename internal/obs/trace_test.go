@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestNilTracerSafe checks every entry point is a no-op on a nil
+// tracer and a zero ActiveSpan.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Span{Name: "x"})
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer spans = %v, want nil", got)
+	}
+	if tr.Total() != 0 || tr.Capacity() != 0 {
+		t.Fatalf("nil tracer total/capacity nonzero")
+	}
+	sp := tr.Start("root")
+	if sp.Recording() {
+		t.Fatalf("nil tracer span is recording")
+	}
+	child := sp.Child("child")
+	child.SetAttr("k", "v")
+	child.End()
+	sp.End()
+
+	var zero ActiveSpan
+	zero.SetAttr("k", "v")
+	zero.End()
+	if zero.Recording() {
+		t.Fatalf("zero ActiveSpan is recording")
+	}
+}
+
+// TestSpanHierarchy checks trace/parent/ID propagation through root and
+// child spans, and that SetAttr is visible even when the ActiveSpan is
+// copied (it holds a pointer to the span).
+func TestSpanHierarchy(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("root")
+	copied := root // ActiveSpan copies must share the underlying span
+	child := root.Child("child")
+	child.SetAttr("stage", "eval")
+	child.End()
+	copied.SetAttr("status", "200")
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	c, r := spans[0], spans[1] // child ends first
+	if c.Name != "child" || r.Name != "root" {
+		t.Fatalf("span order = %q, %q; want child, root", c.Name, r.Name)
+	}
+	if c.Trace != r.Trace {
+		t.Fatalf("child trace %d != root trace %d", c.Trace, r.Trace)
+	}
+	if c.Parent != r.ID {
+		t.Fatalf("child parent %d != root id %d", c.Parent, r.ID)
+	}
+	if r.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", r.Parent)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0] != (Attr{Key: "stage", Value: "eval"}) {
+		t.Fatalf("child attrs = %v", c.Attrs)
+	}
+	if len(r.Attrs) != 1 || r.Attrs[0] != (Attr{Key: "status", Value: "200"}) {
+		t.Fatalf("root attrs = %v (SetAttr on a copy must stick)", r.Attrs)
+	}
+	if r.End < r.Start || c.End < c.Start {
+		t.Fatalf("span end precedes start")
+	}
+}
+
+// TestRingWraparound fills the ring past capacity and checks the oldest
+// spans are overwritten and Spans returns oldest-first.
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.Record(Span{Name: "s", Clock: SimClock, Start: int64(i), End: int64(i)})
+	}
+	if tr.Total() != 7 {
+		t.Fatalf("total = %d, want 7", tr.Total())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := int64(i + 3); s.Start != want {
+			t.Fatalf("spans[%d].Start = %d, want %d (oldest first)", i, s.Start, want)
+		}
+	}
+}
+
+// TestRecordDefaults checks Record fills in ID, Trace and Clock when
+// the caller leaves them zero.
+func TestRecordDefaults(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record(Span{Name: "bare"})
+	s := tr.Spans()[0]
+	if s.ID == 0 || s.Trace != s.ID {
+		t.Fatalf("ID/Trace defaults not applied: %+v", s)
+	}
+	if s.Clock != WallClock {
+		t.Fatalf("clock default = %q, want %q", s.Clock, WallClock)
+	}
+	tr.Record(Span{Name: "sim", Clock: SimClock})
+	if got := tr.Spans()[1].Clock; got != SimClock {
+		t.Fatalf("explicit clock overwritten: %q", got)
+	}
+}
+
+// TestContextRoundTrip checks NewContext/FromContext carry the active
+// span, and that missing or nil contexts yield the inert zero span.
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.Start("root")
+	ctx := NewContext(context.Background(), root)
+	got := FromContext(ctx)
+	if !got.Recording() {
+		t.Fatalf("span lost through context")
+	}
+	got.Child("child").End()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Parent != spans[1].ID {
+		t.Fatalf("child via context not parented to root: %+v", spans)
+	}
+	if FromContext(context.Background()).Recording() {
+		t.Fatalf("empty context yields recording span")
+	}
+	if FromContext(nil).Recording() { //nolint:staticcheck // nil-safety is the contract under test
+		t.Fatalf("nil context yields recording span")
+	}
+}
+
+// TestTracerConcurrent records from many goroutines; run under -race
+// this certifies the locking, and Total must balance.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(32)
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				sp := tr.Start("op")
+				sp.SetAttr("n", "1")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != workers*per {
+		t.Fatalf("total = %d, want %d", tr.Total(), workers*per)
+	}
+	if got := len(tr.Spans()); got != 32 {
+		t.Fatalf("ring holds %d spans, want 32", got)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+
+	"repro/internal/obs"
 )
 
 // NewHandler returns the service's HTTP API:
@@ -34,6 +36,7 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, errorCode(r.Context(), err), err)
 			return
 		}
+		obs.FromContext(r.Context()).SetAttr("cache", string(status))
 		h := w.Header()
 		h.Set("Content-Type", "application/json")
 		h.Set("Content-Length", strconv.Itoa(len(body)))

@@ -1,166 +1,89 @@
 package quote
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
-// histBounds are the latency histogram bucket upper bounds in seconds
-// (log-spaced, 0.5 ms – 60 s, plus an implicit +Inf bucket).
-var histBounds = []float64{
-	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
-	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
-}
-
-// histogram is a fixed-bucket latency histogram with approximate
-// quantiles (linear interpolation inside the winning bucket). It is
-// safe for concurrent use.
-type histogram struct {
-	mu      sync.Mutex
-	buckets []int64
-	count   int64
-	sum     float64
-}
-
-// newHistogram returns an empty histogram over histBounds.
-func newHistogram() *histogram {
-	return &histogram{buckets: make([]int64, len(histBounds)+1)}
-}
-
-// observe records one latency in seconds.
-func (h *histogram) observe(seconds float64) {
-	i := sort.SearchFloat64s(histBounds, seconds)
-	h.mu.Lock()
-	h.buckets[i]++
-	h.count++
-	h.sum += seconds
-	h.mu.Unlock()
-}
-
-// quantile approximates the q-quantile (0 < q < 1) in seconds; an
-// empty histogram reports 0. Values in the overflow bucket report the
-// last finite bound.
-func (h *histogram) quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	rank := q * float64(h.count)
-	var cum int64
-	for i, n := range h.buckets {
-		if n == 0 {
-			continue
-		}
-		if float64(cum+n) >= rank {
-			lo := 0.0
-			if i > 0 {
-				lo = histBounds[i-1]
-			}
-			hi := histBounds[len(histBounds)-1]
-			if i < len(histBounds) {
-				hi = histBounds[i]
-			}
-			frac := (rank - float64(cum)) / float64(n)
-			if frac < 0 {
-				frac = 0
-			}
-			if frac > 1 {
-				frac = 1
-			}
-			return lo + (hi-lo)*frac
-		}
-		cum += n
-	}
-	return histBounds[len(histBounds)-1]
-}
-
-// snapshot returns count and sum.
-func (h *histogram) snapshot() (count int64, sum float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count, h.sum
-}
-
 // Metrics aggregates the service's counters and per-stage latency
-// histograms. All fields are safe for concurrent use; the zero value is
-// not ready — use NewMetrics.
+// histograms on the obs registry. All fields are safe for concurrent
+// use; the zero value is not ready — use NewMetrics.
 type Metrics struct {
 	// Requests counts quote requests accepted for processing.
-	Requests atomic.Int64
+	Requests obs.Counter
 	// ValidationErrors counts requests rejected by decode/validation.
-	ValidationErrors atomic.Int64
+	ValidationErrors obs.Counter
 	// HistoryErrors counts history-source failures.
-	HistoryErrors atomic.Int64
+	HistoryErrors obs.Counter
 	// EvalErrors counts evaluation failures.
-	EvalErrors atomic.Int64
+	EvalErrors obs.Counter
 	// CacheHits and CacheMisses count plan-cache lookups.
-	CacheHits   atomic.Int64
-	CacheMisses atomic.Int64
+	CacheHits   obs.Counter
+	CacheMisses obs.Counter
 	// Coalesced counts requests served by joining another request's
 	// in-flight evaluation.
-	Coalesced atomic.Int64
+	Coalesced obs.Counter
 	// InFlight gauges quote requests currently being processed.
-	InFlight atomic.Int64
+	InFlight obs.Gauge
 	// StalePlans counts quotes served from the last-known-good store
 	// because live history was unavailable (degraded mode).
-	StalePlans atomic.Int64
+	StalePlans obs.Counter
 	// BreakerOpens counts circuit-breaker open transitions.
-	BreakerOpens atomic.Int64
+	BreakerOpens obs.Counter
 	// BreakerHalfOpens counts half-open probes admitted after a
 	// cooldown.
-	BreakerHalfOpens atomic.Int64
+	BreakerHalfOpens obs.Counter
 	// BreakerFastFails counts requests that skipped the history fetch
 	// because the breaker was open.
-	BreakerFastFails atomic.Int64
+	BreakerFastFails obs.Counter
 	// FeedStaleServes counts history fetches answered from the feed
 	// source's stale cache after an upstream failure.
-	FeedStaleServes atomic.Int64
+	FeedStaleServes obs.Counter
 	// WatchdogTrips counts feed-source serves whose cached history had
 	// aged past the staleness watchdog bound.
-	WatchdogTrips atomic.Int64
+	WatchdogTrips obs.Counter
 
-	history *histogram // history-fetch stage latency
-	eval    *histogram // evaluation stage latency
-	total   *histogram // whole-request latency
-}
+	history *obs.Histogram // history-fetch stage latency
+	eval    *obs.Histogram // evaluation stage latency
+	total   *obs.Histogram // whole-request latency
 
-// NewMetrics returns a ready Metrics.
-func NewMetrics() *Metrics {
-	return &Metrics{history: newHistogram(), eval: newHistogram(), total: newHistogram()}
+	reg obs.Registry
 }
 
 // quantiles reported on /metrics.
 var metricQuantiles = []float64{0.5, 0.9, 0.99}
 
+// NewMetrics returns a ready Metrics. Registration order mirrors the
+// historical hand-written exposition, which a golden test pins
+// byte-for-byte.
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		history: obs.NewHistogram(nil),
+		eval:    obs.NewHistogram(nil),
+		total:   obs.NewHistogram(nil),
+	}
+	m.reg.Counter("quoted_requests_total", &m.Requests)
+	m.reg.Counter("quoted_validation_errors_total", &m.ValidationErrors)
+	m.reg.Counter("quoted_history_errors_total", &m.HistoryErrors)
+	m.reg.Counter("quoted_eval_errors_total", &m.EvalErrors)
+	m.reg.Counter("quoted_cache_hits_total", &m.CacheHits)
+	m.reg.Counter("quoted_cache_misses_total", &m.CacheMisses)
+	m.reg.Counter("quoted_coalesced_total", &m.Coalesced)
+	m.reg.Gauge("quoted_in_flight", &m.InFlight)
+	m.reg.Counter("quoted_stale_plans_total", &m.StalePlans)
+	m.reg.Counter("quoted_breaker_opens_total", &m.BreakerOpens)
+	m.reg.Counter("quoted_breaker_half_opens_total", &m.BreakerHalfOpens)
+	m.reg.Counter("quoted_breaker_fast_fails_total", &m.BreakerFastFails)
+	m.reg.Counter("quoted_feed_stale_serves_total", &m.FeedStaleServes)
+	m.reg.Counter("quoted_watchdog_trips_total", &m.WatchdogTrips)
+	m.reg.Histogram("quoted_latency_seconds", "stage", "history", metricQuantiles, m.history)
+	m.reg.Histogram("quoted_latency_seconds", "stage", "eval", metricQuantiles, m.eval)
+	m.reg.Histogram("quoted_latency_seconds", "stage", "total", metricQuantiles, m.total)
+	return m
+}
+
 // Render writes the metrics in Prometheus text exposition style.
 func (m *Metrics) Render(w io.Writer) {
-	fmt.Fprintf(w, "quoted_requests_total %d\n", m.Requests.Load())
-	fmt.Fprintf(w, "quoted_validation_errors_total %d\n", m.ValidationErrors.Load())
-	fmt.Fprintf(w, "quoted_history_errors_total %d\n", m.HistoryErrors.Load())
-	fmt.Fprintf(w, "quoted_eval_errors_total %d\n", m.EvalErrors.Load())
-	fmt.Fprintf(w, "quoted_cache_hits_total %d\n", m.CacheHits.Load())
-	fmt.Fprintf(w, "quoted_cache_misses_total %d\n", m.CacheMisses.Load())
-	fmt.Fprintf(w, "quoted_coalesced_total %d\n", m.Coalesced.Load())
-	fmt.Fprintf(w, "quoted_in_flight %d\n", m.InFlight.Load())
-	fmt.Fprintf(w, "quoted_stale_plans_total %d\n", m.StalePlans.Load())
-	fmt.Fprintf(w, "quoted_breaker_opens_total %d\n", m.BreakerOpens.Load())
-	fmt.Fprintf(w, "quoted_breaker_half_opens_total %d\n", m.BreakerHalfOpens.Load())
-	fmt.Fprintf(w, "quoted_breaker_fast_fails_total %d\n", m.BreakerFastFails.Load())
-	fmt.Fprintf(w, "quoted_feed_stale_serves_total %d\n", m.FeedStaleServes.Load())
-	fmt.Fprintf(w, "quoted_watchdog_trips_total %d\n", m.WatchdogTrips.Load())
-	for _, st := range []struct {
-		name string
-		h    *histogram
-	}{{"history", m.history}, {"eval", m.eval}, {"total", m.total}} {
-		for _, q := range metricQuantiles {
-			fmt.Fprintf(w, "quoted_latency_seconds{stage=%q,quantile=\"%g\"} %g\n", st.name, q, st.h.quantile(q))
-		}
-		count, sum := st.h.snapshot()
-		fmt.Fprintf(w, "quoted_latency_seconds_count{stage=%q} %d\n", st.name, count)
-		fmt.Fprintf(w, "quoted_latency_seconds_sum{stage=%q} %g\n", st.name, sum)
-	}
+	m.reg.Render(w)
 }

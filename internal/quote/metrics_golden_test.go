@@ -1,0 +1,51 @@
+package quote
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMetricsRenderGolden pins the /metrics exposition byte-for-byte
+// against testdata/metrics.golden, which was captured from the
+// pre-registry hand-written Fprintf implementation. Any drift in metric
+// names, ordering, quantile estimation or float formatting across the
+// obs migration (or future refactors) fails here.
+func TestMetricsRenderGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Requests.Add(17)
+	m.ValidationErrors.Add(2)
+	m.HistoryErrors.Add(3)
+	m.EvalErrors.Add(1)
+	m.CacheHits.Add(9)
+	m.CacheMisses.Add(8)
+	m.Coalesced.Add(4)
+	m.InFlight.Add(2)
+	m.StalePlans.Add(5)
+	m.BreakerOpens.Add(1)
+	m.BreakerHalfOpens.Add(2)
+	m.BreakerFastFails.Add(6)
+	m.FeedStaleServes.Add(7)
+	m.WatchdogTrips.Add(1)
+	for _, v := range []float64{0.0007, 0.003, 0.003, 0.04, 1.7} {
+		m.history.Observe(v)
+	}
+	for _, v := range []float64{0.011, 0.012, 0.09, 0.26} {
+		m.eval.Observe(v)
+	}
+	for _, v := range []float64{0.012, 0.015, 0.13, 0.3, 2.2, 75} {
+		m.total.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	m.Render(&buf)
+
+	want, err := os.ReadFile(filepath.Join("testdata", "metrics.golden"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from the pre-migration golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/trace"
 )
@@ -131,10 +132,13 @@ func (s *Service) Quote(ctx context.Context, req Request) ([]byte, CacheStatus, 
 		s.Metrics.BreakerHalfOpens.Add(1)
 	}
 
+	span := obs.FromContext(ctx)
 	window := int64(math.Round(req.HistoryWindowHours * float64(trace.Hour)))
 	histStart := time.Now()
+	hsp := span.Child("quote.history")
 	hist, digest, err := s.Source.History(ctx, window)
-	s.Metrics.history.observe(time.Since(histStart).Seconds())
+	hsp.End()
+	s.Metrics.history.Observe(time.Since(histStart).Seconds())
 	if err != nil {
 		s.Metrics.HistoryErrors.Add(1)
 		if s.Breaker.Failure() {
@@ -148,7 +152,7 @@ func (s *Service) Quote(ctx context.Context, req Request) ([]byte, CacheStatus, 
 	if body, ok := s.cache.get(key); ok {
 		s.Metrics.CacheHits.Add(1)
 		s.stale.add(req.Key(), body)
-		s.Metrics.total.observe(time.Since(start).Seconds())
+		s.Metrics.total.Observe(time.Since(start).Seconds())
 		return body, StatusHit, nil
 	}
 	s.Metrics.CacheMisses.Add(1)
@@ -159,8 +163,10 @@ func (s *Service) Quote(ctx context.Context, req Request) ([]byte, CacheStatus, 
 		}
 		defer s.Gate.Release()
 		evalStart := time.Now()
+		esp := span.Child("quote.eval")
 		resp, err := s.compute(req, hist, digest)
-		s.Metrics.eval.observe(time.Since(evalStart).Seconds())
+		esp.End()
+		s.Metrics.eval.Observe(time.Since(evalStart).Seconds())
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +188,7 @@ func (s *Service) Quote(ctx context.Context, req Request) ([]byte, CacheStatus, 
 		s.Metrics.Coalesced.Add(1)
 	}
 	s.stale.add(req.Key(), body)
-	s.Metrics.total.observe(time.Since(start).Seconds())
+	s.Metrics.total.Observe(time.Since(start).Seconds())
 	return body, status, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/market"
+	"repro/internal/obs"
 )
 
 // Machine is the incremental form of the simulation engine: one Step
@@ -166,6 +167,12 @@ func (m *Machine) Step() error {
 	if !cfg.DisableDeadlineGuard {
 		slack := env.guardSlack()
 		if slack <= 0 {
+			if cfg.ObsTrace != nil {
+				cfg.ObsTrace.Record(obs.Span{
+					Name: "sim.deadline-guard", Clock: obs.SimClock,
+					Start: env.Now, End: env.Now,
+				})
+			}
 			m.result = finishViaOnDemand(env)
 			return nil
 		}
@@ -264,6 +271,12 @@ func (m *Machine) Step() error {
 // no-op on a finished machine.
 func (m *Machine) ForceOnDemand() *Result {
 	if m.result == nil {
+		if t := m.env.Cfg.ObsTrace; t != nil {
+			t.Record(obs.Span{
+				Name: "sim.force-on-demand", Clock: obs.SimClock,
+				Start: m.env.Now, End: m.env.Now,
+			})
+		}
 		m.result = finishViaOnDemand(m.env)
 	}
 	return m.result
@@ -645,6 +658,16 @@ func completeAt(env *Env, finish int64) *Result {
 
 // finalize computes totals and returns the accumulated result.
 func (e *Env) finalize() *Result {
+	if t := e.Cfg.ObsTrace; t != nil {
+		t.Record(obs.Span{
+			Name: "sim.run", Clock: obs.SimClock,
+			Start: e.StartTime, End: e.Now,
+			Attrs: []obs.Attr{
+				{Key: "strategy", Value: e.res.Strategy},
+				{Key: "policy", Value: e.res.Policy},
+			},
+		})
+	}
 	n := float64(e.nodes())
 	e.res.Cost = e.ledger.Total() * n
 	e.res.SpotCost = e.ledger.SpotTotal() * n

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -189,6 +190,10 @@ type Config struct {
 	// DisableDeadlineGuard turns off the on-demand fallback; used only
 	// by estimation runs inside the Adaptive policy and by ablations.
 	DisableDeadlineGuard bool
+	// ObsTrace, when non-nil, receives simulated-time spans for the run
+	// and its guard/fallback transitions. Nil (the default) records
+	// nothing and costs nothing on the replay hot path.
+	ObsTrace *obs.Tracer
 }
 
 // Validate reports configuration errors, including a deadline too tight

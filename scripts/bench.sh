@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# Benchmark-regression harness: runs the paired observability
+# micro/macro benchmarks (plain vs -Obs variants of AdaptiveDecision
+# and MachineReset), plus the quote service's built-in load generator,
+# and writes the results to BENCH_obs.json. For every Name/NameObs
+# pair the report includes obs_overhead_pct — the acceptance budget is
+# 5% on the macro (AdaptiveDecision) pair; CI uploads the file as an
+# artifact so regressions are diffable across runs.
+#
+# Usage: scripts/bench.sh [output-file]   (default BENCH_obs.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_obs.json}
+count=${BENCH_COUNT:-3}
+clients=${BENCH_CLIENTS:-50}
+duration=${BENCH_DURATION:-3s}
+
+tmp=$(mktemp)
+self=$(mktemp)
+trap 'rm -f "$tmp" "$self"' EXIT
+
+echo "bench: go test -bench 'AdaptiveDecision|MachineReset' -count $count" >&2
+go test -run '^$' -bench 'AdaptiveDecision|MachineReset' -benchmem \
+	-count "$count" . | tee /dev/stderr >"$tmp"
+
+echo "bench: quoted -selfbench $clients -bench-duration $duration" >&2
+go run ./cmd/quoted -selfbench "$clients" -bench-duration "$duration" \
+	| tee /dev/stderr >"$self"
+
+awk -v self="$self" '
+# Benchmark lines: name, iterations, ns/op, B/op, allocs/op. With
+# -count > 1 each name repeats; keep the minimum ns/op (least noisy)
+# and its companion memory columns.
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)        # strip GOMAXPROCS suffix
+	sub(/^Benchmark/, "", name)
+	ns = $3; bytes = $5; allocs = $7
+	if (!(name in best) || ns + 0 < best[name] + 0) {
+		best[name] = ns; mem[name] = bytes; alloc[name] = allocs
+		if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+	}
+}
+END {
+	# selfbench line: "  requests      N (R req/s), errors E"
+	reqs = ""; rate = ""; errs = ""
+	while ((getline line < self) > 0) {
+		if (line ~ /requests/) {
+			split(line, f, /[ (),]+/)
+			reqs = f[3]; rate = f[4]; errs = f[7]
+		}
+	}
+	printf "{\n  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			name, best[name], mem[name], alloc[name], (i < n ? "," : "")
+	}
+	printf "  ],\n  \"obs_overhead\": [\n"
+	m = 0
+	for (i = 1; i <= n; i++) {
+		base = order[i]
+		if (base ~ /Obs$/ || !((base "Obs") in best)) continue
+		pair[++m] = base
+	}
+	for (i = 1; i <= m; i++) {
+		base = pair[i]; obs = base "Obs"
+		pct = (best[obs] - best[base]) / best[base] * 100
+		printf "    {\"name\": \"%s\", \"base_ns_per_op\": %s, \"obs_ns_per_op\": %s, \"obs_overhead_pct\": %.2f}%s\n", \
+			base, best[base], best[obs], pct, (i < m ? "," : "")
+	}
+	printf "  ],\n"
+	printf "  \"selfbench\": {\"requests\": %s, \"req_per_sec\": %s, \"errors\": %s}\n", \
+		(reqs == "" ? 0 : reqs), (rate == "" ? 0 : rate), (errs == "" ? 0 : errs)
+	printf "}\n"
+}
+' "$tmp" >"$out"
+
+echo "bench: wrote $out" >&2

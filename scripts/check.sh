@@ -22,4 +22,5 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+go test -run '^$' -fuzz '^FuzzRowParser$' -fuzztime 5s ./internal/livesched
 go run ./cmd/chaossim -runs 20 -seed 1
