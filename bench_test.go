@@ -469,6 +469,64 @@ func BenchmarkAdaptiveDecision(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveDecisionBatched is BenchmarkAdaptiveDecision with
+// the columnar batched evaluator selected explicitly; paired with
+// BenchmarkAdaptiveDecisionOracle it measures the batching speedup
+// (scripts/bench.sh computes speedup_x into BENCH_batch.json).
+func BenchmarkAdaptiveDecisionBatched(b *testing.B) {
+	cfg := ablationConfig(market.FixedDelay(300))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := core.NewAdaptive()
+		a.Eval = &core.Evaluator{DisableBatch: false}
+		if _, err := sim.Run(cfg, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveDecisionOracle is BenchmarkAdaptiveDecision forced
+// through the per-permutation machine-oracle replays (the pre-batching
+// hot path, kept as the golden reference).
+func BenchmarkAdaptiveDecisionOracle(b *testing.B) {
+	cfg := ablationConfig(market.FixedDelay(300))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := core.NewAdaptive()
+		a.Eval = &core.Evaluator{DisableBatch: true}
+		if _, err := sim.Run(cfg, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchRank times one quote-service ranking sweep — the full
+// (bid, zones, policy) grid priced by Evaluator.MeasureAll through the
+// batched engine — on the volatile ablation window.
+func BenchmarkBatchRank(b *testing.B) {
+	cfg := ablationConfig(market.FixedDelay(300))
+	ev := core.NewEvaluator()
+	req := core.PlanRequest{
+		History:        cfg.History,
+		Work:           cfg.Work,
+		Deadline:       cfg.Deadline,
+		CheckpointCost: cfg.CheckpointCost,
+		RestartCost:    cfg.RestartCost,
+		MaxZones:       3,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plans, err := ev.Rank(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(plans) == 0 {
+			b.Fatal("no plans")
+		}
+	}
+}
+
 // BenchmarkAdaptiveDecisionObs is BenchmarkAdaptiveDecision with span
 // tracing enabled on both the run and its inner Evaluator replays; the
 // pair bounds the observability overhead (scripts/bench.sh computes the

@@ -40,6 +40,7 @@ func main() {
 	preset := flag.String("preset", "high", "trace preset: low, high, low-spike")
 	seed := flag.Uint64("seed", 1, "trace and run seed")
 	policy := flag.String("policy", "adaptive", "policy: periodic, markov-daly, edge, threshold, adaptive")
+	batched := flag.Bool("batched", true, "price adaptive evaluations with the columnar batched engine (false: per-permutation oracle replays; runs are bit-identical either way)")
 	bid := flag.Float64("bid", 0.81, "bid price for non-adaptive policies")
 	n := flag.Int("n", 3, "redundancy degree for non-adaptive policies")
 	workHours := flag.Float64("work", 20, "computation time C in hours")
@@ -81,7 +82,7 @@ func main() {
 		run = fetched
 	}
 
-	strat, err := buildStrategy(*policy, *bid, *n, run.NumZones(), tracer)
+	strat, err := buildStrategy(*policy, *bid, *n, run.NumZones(), tracer, *batched)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -177,10 +178,10 @@ func buildSet(preset string, seed uint64) (*trace.Set, error) {
 	}
 }
 
-func buildStrategy(policy string, bid float64, n, zones int, tracer *obs.Tracer) (sim.Strategy, error) {
+func buildStrategy(policy string, bid float64, n, zones int, tracer *obs.Tracer, batched bool) (sim.Strategy, error) {
 	if policy == "adaptive" {
 		a := core.NewAdaptive()
-		a.Eval = &core.Evaluator{Trace: tracer}
+		a.Eval = &core.Evaluator{Trace: tracer, DisableBatch: !batched}
 		return a, nil
 	}
 	if n < 1 || n > zones {

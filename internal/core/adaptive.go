@@ -68,6 +68,22 @@ type Adaptive struct {
 	Eval *Evaluator
 
 	chosen sim.RunSpec
+
+	// Per-decision scratch, reused across decision points: the scored
+	// candidate grid, the measurement specs handed to the evaluator, and
+	// the measurement policy instances (safe to reuse because the engine
+	// resets policy state at replay start and the evaluator does not
+	// retain them; each decision reattaches its own predictor cache).
+	candBuf []candidate
+	specBuf []sim.RunSpec
+	polBuf  []policySlot
+}
+
+// policySlot is one reusable measurement-policy instance, tagged with
+// its family so a reshaped candidate grid rebuilds mismatched slots.
+type policySlot struct {
+	kind string
+	pol  sim.CheckpointPolicy
 }
 
 // NewAdaptive returns the Adaptive strategy with the paper's settings.
@@ -300,24 +316,38 @@ func (a *Adaptive) analyticCandidates(env *sim.Env, ordered []int, cr, tr, migra
 // machines, and Markov-Daly candidates share one predictor cache so
 // identical chains are fitted once instead of once per permutation.
 func (a *Adaptive) replayCandidates(env *sim.Env, hist *trace.Set, ordered []int, cr, tr, migration int64, cache *PredictorCache) []candidate {
-	var cands []candidate
-	var specs []sim.RunSpec
+	cands := a.candBuf[:0]
+	specs := a.specBuf[:0]
+	np := 0
 	for _, fac := range a.candidates() {
 		for n := 1; n <= a.maxZones(env); n++ {
 			zones := append([]int(nil), ordered[:n]...)
 			sort.Ints(zones)
 			for _, bid := range a.bids() {
+				// The candidate's own policy instance is materialized
+				// lazily by pickSpec for the winner only; the scoring
+				// grid never runs these instances.
 				cands = append(cands, candidate{
-					spec: sim.RunSpec{Bid: bid, Zones: zones, Policy: fac.New()},
+					spec: sim.RunSpec{Bid: bid, Zones: zones},
 					kind: fac.Kind,
 					n:    n,
 				})
 				if hist != nil {
-					specs = append(specs, sim.RunSpec{Bid: bid, Zones: zones, Policy: withSharedCache(fac.New(), cache)})
+					if np == len(a.polBuf) {
+						a.polBuf = append(a.polBuf, policySlot{})
+					}
+					if a.polBuf[np].kind != fac.Kind {
+						a.polBuf[np] = policySlot{kind: fac.Kind, pol: fac.New()}
+					}
+					pol := withSharedCache(a.polBuf[np].pol, cache)
+					np++
+					specs = append(specs, sim.RunSpec{Bid: bid, Zones: zones, Policy: pol})
 				}
 			}
 		}
 	}
+	a.candBuf = cands
+	a.specBuf = specs
 	if hist == nil {
 		for i := range cands {
 			cands[i].cost = predictCost(estimate{}, cr, tr, migration)
@@ -352,6 +382,7 @@ func (a *Adaptive) pick(env *sim.Env) sim.RunSpec {
 		if spec.Policy != nil {
 			span.SetAttr("policy", spec.Policy.Name())
 		}
+		span.SetAttr("batched", strconv.FormatBool(!a.Analytic && !a.evaluator().DisableBatch))
 	}
 	span.End()
 	return spec
@@ -408,7 +439,22 @@ func (a *Adaptive) pickSpec(env *sim.Env) sim.RunSpec {
 			return a.chosen
 		}
 	}
+	if best.spec.Policy == nil {
+		// Replay candidates defer their policy instance to the winner
+		// (the scoring grid never runs it); build it now.
+		best.spec.Policy = a.policyFor(best.kind)
+	}
 	return best.spec
+}
+
+// policyFor builds a fresh policy instance of the named family.
+func (a *Adaptive) policyFor(kind string) sim.CheckpointPolicy {
+	for _, fac := range a.candidates() {
+		if fac.Kind == kind {
+			return fac.New()
+		}
+	}
+	return NewPeriodic()
 }
 
 // evalSpec predicts the remaining cost of an existing spec (re-using
@@ -419,7 +465,7 @@ func (a *Adaptive) evalSpec(env *sim.Env, hist *trace.Set, spec sim.RunSpec, cr,
 		return math.Inf(1)
 	}
 	fresh := sim.RunSpec{Bid: spec.Bid, Zones: spec.Zones, Policy: withSharedCache(clonePolicy(spec.Policy), cache)}
-	est := a.evaluator().Measure(hist, fresh, env.CheckpointCost(), env.RestartCost())
+	est := a.evaluator().measureOne(hist, fresh, env.CheckpointCost(), env.RestartCost())
 	return predictCost(est, cr, tr, migration)
 }
 

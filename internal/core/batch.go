@@ -1,0 +1,1062 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/daly"
+	"repro/internal/markov"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Columnar batched replay: the Adaptive scheme's permutation search
+// replays every sibling (bid, zone set, policy) permutation of one
+// decision point over the same price window. The machine oracle prices
+// them one at a time — a full sim.Machine per permutation, with meters,
+// interfaces and per-step allocations — and refits the same prediction
+// models through a mutex-guarded shared cache. The batched engine in
+// this file prices all of them against one shared trace.Columns view,
+// one shared per-(zone, bid) availability index, and batch-local memo
+// tables for the Markov fits, expected-uptime solves and Daly
+// intervals, replicating the oracle's estimation semantics (static
+// strategy, deadline guard disabled, fixed queuing delay, Periodic or
+// Markov-Daly policies) instruction for instruction so that every
+// float64 is accumulated in the same order and the results are
+// bit-identical. The oracle stays authoritative: Evaluator.Measure
+// still runs it, differential and fuzz tests hold the two paths equal,
+// and Evaluator.DisableBatch routes everything back.
+//
+// The replayed semantics are exactly those reachable from
+// estimationCfg + core.NewStatic: billing advances per Up zone in zone
+// index order, state updates and compute run in spec order, checkpoint
+// commits restart waiting zones before the policy reschedules, and the
+// run closes with FinishEstimation's user-side meter close at the end
+// of the window. Specs the oracle would reject (bad zone indices,
+// non-positive bids) and policies beyond Periodic/Markov-Daly fall back
+// to the oracle per spec.
+//
+// Memoization is value-faithful rather than structure-faithful: a
+// fitted chain is a pure function of (zone, fit time, span, quantum)
+// over a fixed window, an expected uptime of the chain plus (bid,
+// current price), and a Daly interval of those plus the checkpoint
+// cost and zone set — so replacing the oracle's shared PredictorCache
+// protocol with batch-local tables indexed by window step returns the
+// same bits regardless of which permutation populates an entry first.
+// The one place the oracle's caching is NOT pure is its interval key,
+// which omits the history span and quantum: Markov-Daly policies with
+// different parameters sharing one cache instance can collide there.
+// The batch refuses that configuration instead of reproducing it —
+// addPerm routes a permutation to the oracle fallback when its shared
+// cache was already claimed by a different (span, quantum) profile in
+// the same sweep. The batch never writes into the shared cache; a
+// later oracle-path miss recomputes the same pure values.
+
+// estimationHorizon mirrors estimationCfg's effectively-unbounded work
+// and deadline (1 << 40 seconds).
+const estimationHorizon = int64(1) << 40
+
+// batchPolicyKind discriminates the emulated checkpoint policies.
+type batchPolicyKind uint8
+
+const (
+	polPeriodic batchPolicyKind = iota
+	polMarkovDaly
+)
+
+// batchPolicy is the flattened per-permutation policy state: the
+// Periodic hour latch and the Markov-Daly schedule plus its model
+// parameters (resolved once at permutation build time, exactly as the
+// oracle resolves them inside computeInterval).
+type batchPolicy struct {
+	kind batchPolicyKind
+
+	// Markov-Daly parameters and state.
+	span    int64
+	quantum float64
+	higher  bool
+	ts      int64
+
+	// Periodic state.
+	lastHourEnd int64
+}
+
+// chainMemoKey identifies one chain-fit memo column: everything a
+// fitted model depends on besides the (grid-aligned) fit time, which
+// indexes the column.
+type chainMemoKey struct {
+	zone    int
+	span    int64
+	quantum float64
+}
+
+// chainMemo memoizes one zone's fitted chains by window step index. A
+// nil model with done set records an unfittable history, mirroring the
+// oracle's cached nil. While the policy's history span covers the whole
+// window — the common case — every fit history is a prefix of the
+// zone's (quantized) column, and the memo's PrefixFitter fits those
+// without per-fit sorting; shorter spans fall back to the windowed
+// Fitter.
+type chainMemo struct {
+	models []*markov.Model
+	done   []bool
+
+	pf      markov.PrefixFitter
+	pfReady bool
+	qbuf    []float64
+
+	// usolve memoizes expected uptimes on a (step, up-state count)
+	// grid of stride ustride. The states a bid admits are a prefix of
+	// the model's ascending state list, and the solve reads the bid
+	// only through that prefix (and the step's price), so every bid
+	// admitting the same k states shares one slot — a whole bid grid
+	// typically collapses to a handful of solves per step.
+	usolve  memoCol
+	ustride int
+}
+
+// memoCol is a float memo column over window step indexes with O(1)
+// bulk invalidation: an entry is set when its stamp matches the
+// column's generation, so recycling a column costs one counter bump
+// instead of a sentinel fill across the window. Expected uptimes and
+// Daly intervals both use it (neither is ever NaN, but the stamps make
+// sentinels unnecessary anyway).
+type memoCol struct {
+	vals []float64
+	ver  []uint32
+	gen  uint32
+}
+
+// arm sizes the column to n entries and invalidates all of them.
+func (mc *memoCol) arm(n int) {
+	if cap(mc.vals) < n {
+		mc.vals = make([]float64, n)
+		mc.ver = make([]uint32, n)
+		mc.gen = 0
+	}
+	mc.vals = mc.vals[:n]
+	mc.ver = mc.ver[:n]
+	mc.gen++
+	if mc.gen == 0 { // generation counter wrapped: clear stale stamps
+		for i := range mc.ver {
+			mc.ver[i] = 0
+		}
+		mc.gen = 1
+	}
+}
+
+// get returns the entry and whether it is set.
+func (mc *memoCol) get(i int) (float64, bool) {
+	if mc.ver[i] == mc.gen {
+		return mc.vals[i], true
+	}
+	return 0, false
+}
+
+// set stores the entry.
+func (mc *memoCol) set(i int, v float64) {
+	mc.vals[i] = v
+	mc.ver[i] = mc.gen
+}
+
+// batchZone is the flattened per-permutation zone state, the columnar
+// counterpart of sim.ZoneState plus its billing meter and the memo
+// columns its policy computations read.
+type batchZone struct {
+	zone    int
+	state   sim.InstanceState
+	restore bool
+
+	col []float64
+	idx *trace.BidIndex
+	cm  *chainMemo
+
+	progress  int64
+	busyUntil int64
+	readyAt   int64
+
+	// The open meter while Up: the accruing hour's start and rate.
+	hourStart int64
+	hourRate  float64
+}
+
+// batchPerm is one permutation's replay state. Zone and billing-order
+// storage live in the batchState's flat buffers (offsets, not slices,
+// so buffer growth during the build phase cannot leave stale aliases).
+type batchPerm struct {
+	out int // result slot in the MeasureAll output
+	bid float64
+
+	zoff, nz int // zones in spec order: zoneBuf[zoff : zoff+nz]
+	boff     int // spec positions in zone-index order: billBuf[boff : boff+nz]
+
+	pol   batchPolicy
+	ivals *memoCol // Daly interval by step index (Markov-Daly only)
+
+	// Memo of the last Periodic trigger candidate computed by
+	// periodicCap, valid while the leader's open meter (trigH0) and the
+	// policy latch are unchanged and now has not passed the candidate
+	// (any of those moving can change the answer; nothing else can).
+	trigH0, trigLatch, trigCand int64
+	trigValid                   bool
+
+	committed   int64
+	cost        float64
+	maxProgress int64
+	nUp         int
+
+	ckActive bool
+	ckPos    int // spec position of the checkpointing zone
+	ckEnds   int64
+	ckSnap   int64
+}
+
+// cacheProfile is the Markov-Daly parameter profile claimed by a shared
+// PredictorCache instance within one sweep (see the interval-key
+// collision note in the package comment).
+type cacheProfile struct {
+	span    int64
+	quantum float64
+}
+
+// batchState is the reusable scratch of one batched sweep: the columnar
+// view, the availability index, the flat permutation arrays and the
+// memo tables. An Evaluator pools these, so the steady state of
+// successive decision points reuses every buffer. Permutations replay
+// serially on one goroutine — the shared work is memoized, the
+// per-step work is branch-light — so none of the state needs locking
+// and results cannot depend on a worker count.
+type batchState struct {
+	cols  *trace.Columns
+	avail *trace.AvailIndex
+
+	perms    []batchPerm
+	zoneBuf  []batchZone
+	billBuf  []int32
+	fallback []int
+
+	// Memo tables, looked up by linear scan: a sweep holds one chain
+	// memo per (zone, profile) — a handful of entries — so scanning
+	// parallel key/value slices beats hashing float-bearing keys.
+	chainKeys []chainMemoKey
+	chains    []*chainMemo
+	cacheRefs []*PredictorCache
+	cacheProf []cacheProfile
+
+	freeChains []*chainMemo
+	freeIvals  []*memoCol
+	freeModels []*markov.Model
+
+	fitter  markov.Fitter
+	solver  markov.UptimeSolver
+	histBuf []float64
+	zsel    []int32 // computeInterval scratch: fittable spec positions
+
+	start, step, end int64
+	deadline         int64
+	nsteps           int
+	tc, tr           int64
+}
+
+// reset re-arms the scratch for a new history window, recycling every
+// memo table and fitted model into the free lists.
+func (b *batchState) reset(hist *trace.Set, tc, tr int64) {
+	if b.cols == nil {
+		b.cols = trace.NewColumns(hist)
+		b.avail = trace.NewAvailIndex(b.cols)
+	} else {
+		b.cols.Reset(hist)
+		b.avail.Reset(b.cols)
+		for _, cm := range b.chains {
+			for i, m := range cm.models {
+				if cm.done[i] && m != nil {
+					b.freeModels = append(b.freeModels, m)
+				}
+			}
+			b.freeChains = append(b.freeChains, cm)
+		}
+		b.chainKeys = b.chainKeys[:0]
+		b.chains = b.chains[:0]
+		for i := range b.cacheRefs {
+			b.cacheRefs[i] = nil // release the decision point's caches
+		}
+		b.cacheRefs = b.cacheRefs[:0]
+		b.cacheProf = b.cacheProf[:0]
+		for i := range b.perms {
+			if iv := b.perms[i].ivals; iv != nil {
+				b.freeIvals = append(b.freeIvals, iv)
+			}
+		}
+	}
+	b.perms = b.perms[:0]
+	b.zoneBuf = b.zoneBuf[:0]
+	b.billBuf = b.billBuf[:0]
+	b.fallback = b.fallback[:0]
+	b.start = b.cols.Start()
+	b.step = b.cols.Step()
+	b.end = b.cols.End()
+	b.nsteps = b.cols.Steps()
+	b.deadline = b.start + estimationHorizon
+	b.tc, b.tr = tc, tr
+}
+
+// chainMemoFor returns (building if needed) the chain memo column for
+// the key, sized to the window.
+func (b *batchState) chainMemoFor(key chainMemoKey) *chainMemo {
+	for i, k := range b.chainKeys {
+		if k == key {
+			return b.chains[i]
+		}
+	}
+	var cm *chainMemo
+	if n := len(b.freeChains); n > 0 {
+		cm = b.freeChains[n-1]
+		b.freeChains = b.freeChains[:n-1]
+	} else {
+		cm = &chainMemo{}
+	}
+	if cap(cm.models) < b.nsteps {
+		cm.models = make([]*markov.Model, b.nsteps)
+		cm.done = make([]bool, b.nsteps)
+	}
+	cm.models = cm.models[:b.nsteps]
+	cm.done = cm.done[:b.nsteps]
+	for i := range cm.done {
+		cm.models[i] = nil
+		cm.done[i] = false
+	}
+	cm.pfReady = false
+	if cm.ustride > 0 {
+		cm.usolve.arm(b.nsteps * cm.ustride)
+	}
+	b.chainKeys = append(b.chainKeys, key)
+	b.chains = append(b.chains, cm)
+	return cm
+}
+
+// takeIvals returns an invalidated interval memo sized to the window.
+func (b *batchState) takeIvals() *memoCol {
+	var iv *memoCol
+	if n := len(b.freeIvals); n > 0 {
+		iv = b.freeIvals[n-1]
+		b.freeIvals = b.freeIvals[:n-1]
+	} else {
+		iv = &memoCol{}
+	}
+	iv.arm(b.nsteps)
+	return iv
+}
+
+// takeModel pops a recycled model for the fitter to refill.
+func (b *batchState) takeModel() *markov.Model {
+	if n := len(b.freeModels); n > 0 {
+		m := b.freeModels[n-1]
+		b.freeModels = b.freeModels[:n-1]
+		return m
+	}
+	return &markov.Model{}
+}
+
+// addPerm builds the flattened replay state for one spec, reporting
+// whether the batched engine supports it. Unsupported specs — foreign
+// policy types, empty zone sets, specs sim.checkSpec would reject (the
+// oracle turns those errors into zero estimates), and Markov-Daly
+// policies whose shared cache is already claimed by a different
+// parameter profile — take the per-spec oracle path instead.
+func (b *batchState) addPerm(out int, spec sim.RunSpec) bool {
+	var pol batchPolicy
+	switch p := spec.Policy.(type) {
+	case *Periodic:
+		pol.kind = polPeriodic
+	case *MarkovDaly:
+		pol.kind = polMarkovDaly
+		pol.span = p.HistorySpan
+		if pol.span <= 0 {
+			pol.span = markov.DefaultHistory
+		}
+		pol.quantum = p.Quantum
+		pol.higher = p.HigherOrder
+		if p.cache != nil {
+			prof := cacheProfile{span: pol.span, quantum: pol.quantum}
+			claimed := false
+			for i, c := range b.cacheRefs {
+				if c == p.cache {
+					if b.cacheProf[i] != prof {
+						return false
+					}
+					claimed = true
+					break
+				}
+			}
+			if !claimed {
+				b.cacheRefs = append(b.cacheRefs, p.cache)
+				b.cacheProf = append(b.cacheProf, prof)
+			}
+		}
+	default:
+		return false
+	}
+	nz := len(spec.Zones)
+	if nz == 0 || spec.Bid <= 0 {
+		return false
+	}
+	for i, zi := range spec.Zones {
+		if zi < 0 || zi >= b.cols.NumZones() {
+			return false
+		}
+		for _, zj := range spec.Zones[:i] {
+			if zj == zi {
+				return false
+			}
+		}
+	}
+
+	zoff := len(b.zoneBuf)
+	for _, zi := range spec.Zones {
+		z := batchZone{
+			zone: zi,
+			col:  b.cols.Col(zi),
+			idx:  b.avail.Get(zi, spec.Bid),
+		}
+		if pol.kind == polMarkovDaly {
+			z.cm = b.chainMemoFor(chainMemoKey{zone: zi, span: pol.span, quantum: pol.quantum})
+		}
+		b.zoneBuf = append(b.zoneBuf, z)
+	}
+	boff := len(b.billBuf)
+	for k := 0; k < nz; k++ {
+		b.billBuf = append(b.billBuf, int32(k))
+	}
+	// Billing iterates zones in trace index order (Machine.Step walks
+	// env.Zones, not the spec); sort the spec positions accordingly.
+	bill := b.billBuf[boff : boff+nz]
+	for i := 1; i < nz; i++ {
+		for j := i; j > 0 && spec.Zones[bill[j]] < spec.Zones[bill[j-1]]; j-- {
+			bill[j], bill[j-1] = bill[j-1], bill[j]
+		}
+	}
+	var ivals *memoCol
+	if pol.kind == polMarkovDaly {
+		ivals = b.takeIvals()
+	}
+	b.perms = append(b.perms, batchPerm{out: out, bid: spec.Bid, zoff: zoff, nz: nz, boff: boff, pol: pol, ivals: ivals})
+	return true
+}
+
+// runPerm replays one permutation over the whole window. It mirrors
+// Machine.Reset + the Step loop + FinishEstimation for an estimation
+// configuration, in the exact order the oracle executes them.
+func (b *batchState) runPerm(p *batchPerm) {
+	zs := b.zoneBuf[p.zoff : p.zoff+p.nz]
+	bill := b.billBuf[p.boff : p.boff+p.nz]
+
+	p.committed = 0
+	p.cost = 0
+	p.ckActive = false
+	p.nUp = 0
+	for k := range zs {
+		z := &zs[k]
+		z.state = sim.Down
+		z.restore = false
+		z.progress = 0
+		z.busyUntil = 0
+		z.readyAt = 0
+	}
+	p.pol.lastHourEnd = 0
+	if p.pol.kind == polMarkovDaly {
+		// MarkovDaly.Reset schedules at run start.
+		b.schedule(p, b.start)
+	}
+
+	// Event-driven stepping: run the full per-step state machine only at
+	// steps where something can change (an availability flip, a pending
+	// instance coming ready, a checkpoint start/finish, a policy
+	// trigger); the provably-inert stretches in between reduce to meter
+	// advances and linear progress accrual, which bulkAdvance replays in
+	// the oracle's exact accumulation order.
+	n := b.nsteps
+	now := b.start
+	i := 0
+	for i < n {
+		b.stepPerm(p, zs, bill, now, i)
+		i++
+		now += b.step
+		if i >= n {
+			break
+		}
+		if j := b.horizon(p, zs, now, i); j > i {
+			b.bulkAdvance(p, zs, bill, i, j)
+			i = j
+			now = b.start + int64(i)*b.step
+		}
+	}
+
+	// FinishEstimation: close every running meter user-side at the end
+	// of the trace, in zone index order.
+	for _, bk := range bill {
+		z := &zs[bk]
+		if z.state != sim.Up {
+			continue
+		}
+		for b.end >= z.hourStart+trace.Hour {
+			p.cost += z.hourRate
+			z.hourStart += trace.Hour
+			z.hourRate = z.col[b.cols.Index(z.hourStart)]
+		}
+		if b.end != z.hourStart {
+			p.cost += z.hourRate // started hour charged in full
+		}
+		z.state = sim.Down
+	}
+	maxP := p.committed
+	for k := range zs {
+		if zs[k].progress > maxP {
+			maxP = zs[k].progress
+		}
+	}
+	p.maxProgress = maxP
+}
+
+// horizon returns the first step at or after i where the permutation's
+// replay can do more than advance meters and accrue progress, bounding
+// the stretch bulkAdvance may fast-forward. The bound is conservative:
+// stopping at a step where nothing happens is just a missed skip, never
+// an error. The returned step assumes the states current after step
+// i-1, so it must be recomputed after every full step.
+func (b *batchState) horizon(p *batchPerm, zs []batchZone, now int64, i int) int {
+	j := b.nsteps
+	if p.nUp > 0 {
+		for k := range zs {
+			z := &zs[k]
+			switch z.state {
+			case sim.Up:
+				if z.busyUntil > now {
+					// A busy zone accrues partial progress and can shift
+					// the checkpoint leader; busy spells last a step or
+					// two, so run them through the full state machine.
+					return i
+				}
+				if f := z.idx.NextChange(i - 1); f < j {
+					j = f
+				}
+			case sim.Pending:
+				if f := z.idx.NextChange(i - 1); f < j {
+					j = f
+				}
+				if t := b.stepAtOrAfter(z.readyAt); t < j {
+					j = t
+				}
+			}
+			// Waiting and Down zones need no cap while instances run:
+			// with no hook observing them their state is a pure function
+			// of the current availability bit, and stepPerm's update
+			// switch re-derives it from the live bit whenever the
+			// stretch ends — intermediate flips are unobservable.
+		}
+		if p.ckActive {
+			if t := b.stepAtOrAfter(p.ckEnds); t < j {
+				j = t
+			}
+		} else if p.pol.kind == polMarkovDaly {
+			if t := b.stepAtOrAfter(p.pol.ts); t < j {
+				j = t
+			}
+		} else {
+			j = b.periodicCap(p, zs, now, j)
+		}
+	} else {
+		// No running instances: a checkpoint cannot be in flight (its
+		// zone would be up), but the no-instance hook resubmits every
+		// effectively-waiting zone each step, so any zone whose bit is
+		// (or becomes) up forces full stepping.
+		for k := range zs {
+			z := &zs[k]
+			if f := z.idx.NextChange(i - 1); f < j {
+				j = f
+			}
+			switch z.state {
+			case sim.Pending:
+				if t := b.stepAtOrAfter(z.readyAt); t < j {
+					j = t
+				}
+			case sim.Waiting, sim.Down:
+				if z.idx.Up(i - 1) {
+					return i
+				}
+			}
+		}
+	}
+	if j < i {
+		return i
+	}
+	return j
+}
+
+// stepAtOrAfter returns the first step index whose time is at or after
+// x, clamped to the window.
+func (b *batchState) stepAtOrAfter(x int64) int {
+	d := x - b.start
+	if d <= 0 {
+		return 0
+	}
+	t := (d + b.step - 1) / b.step
+	if t > int64(b.nsteps) {
+		return b.nsteps
+	}
+	return int(t)
+}
+
+// periodicCap bounds a stretch by the Periodic policy's next trigger.
+// The cap is exact: a stretch has no busy up zones (horizon single-
+// steps those), so every up zone accrues identical progress, progress
+// differences are constant, and the strictly-max first-wins leader —
+// the zone whose billing hour drives the condition — cannot change
+// before the stretch ends.
+func (b *batchState) periodicCap(p *batchPerm, zs []batchZone, now int64, j int) int {
+	lead := -1
+	for k := range zs {
+		z := &zs[k]
+		if z.state == sim.Up && (lead < 0 || z.progress > zs[lead].progress) {
+			lead = k
+		}
+	}
+	if lead < 0 {
+		return j
+	}
+	h0 := zs[lead].hourStart
+	latch := p.pol.lastHourEnd
+	// The candidate depends only on (h0, latch) and now, and while now
+	// has not reached a previously computed candidate the answer cannot
+	// move (every hour end between then and the candidate would have
+	// either triggered or advanced the meter, changing h0 or the latch),
+	// so the last candidate is reusable across consecutive events.
+	if !p.trigValid || p.trigH0 != h0 || p.trigLatch != latch || p.trigCand < now {
+		p.trigCand = b.trigTime(h0, now, b.tc+b.step, latch)
+		p.trigH0, p.trigLatch, p.trigValid = h0, latch, true
+	}
+	if t := (p.trigCand - b.start) / b.step; t < int64(j) {
+		j = int(t)
+	}
+	return j
+}
+
+// trigTime returns the first grid time at or after now where a meter
+// opened at h0 (and advancing hour by hour) is within thr of its hour
+// end and that hour end is not latched — the Periodic trigger condition
+// for a zone that stays up.
+func (b *batchState) trigTime(h0, now, thr, latch int64) int64 {
+	k := (now - h0) / trace.Hour
+	for {
+		hEnd := h0 + (k+1)*trace.Hour
+		cand := now
+		if lo := hEnd - thr; lo > cand {
+			cand = b.start + ((lo-b.start+b.step-1)/b.step)*b.step
+		}
+		// cand < hEnd always: the qualifying window is at least one step
+		// long (thr >= step) and now precedes hEnd in this hour.
+		if hEnd != latch {
+			return cand
+		}
+		k++
+	}
+}
+
+// bulkAdvance fast-forwards one permutation across the inert steps
+// [a, c): every completed instance-hour is charged at the step where
+// the oracle's meter advance would commit it, ordered by (step, zone
+// index) exactly like the per-step loop, and each up zone accrues one
+// full step of progress per step.
+func (b *batchState) bulkAdvance(p *batchPerm, zs []batchZone, bill []int32, a, c int) {
+	if p.nUp == 0 {
+		return
+	}
+	adv := int64(c-a) * b.step
+	if p.nUp == 1 {
+		// One up zone: its charges are the only ones in the stretch, so
+		// a tight per-hour loop reproduces the merge order trivially. An
+		// hour fires inside the stretch iff its end is at or before the
+		// last in-stretch grid time (the merge loop's fire-step bound,
+		// cleared of the ceiling division).
+		lastT := b.start + int64(c-1)*b.step
+		for k := range zs {
+			z := &zs[k]
+			if z.state != sim.Up {
+				continue
+			}
+			for z.hourStart+trace.Hour <= lastT {
+				p.cost += z.hourRate
+				z.hourStart += trace.Hour
+				z.hourRate = z.col[b.cols.Index(z.hourStart)]
+			}
+			z.progress += adv
+			return
+		}
+	}
+	for {
+		var zf *batchZone
+		var bestT int64
+		for _, bk := range bill {
+			z := &zs[bk]
+			if z.state != sim.Up {
+				continue
+			}
+			f := z.hourStart + trace.Hour
+			t := (f - b.start + b.step - 1) / b.step
+			if t >= int64(c) {
+				continue
+			}
+			if zf == nil || t < bestT {
+				zf = z
+				bestT = t
+			}
+		}
+		if zf == nil {
+			break
+		}
+		p.cost += zf.hourRate
+		zf.hourStart += trace.Hour
+		zf.hourRate = zf.col[b.cols.Index(zf.hourStart)]
+	}
+	for k := range zs {
+		z := &zs[k]
+		if z.state == sim.Up {
+			z.progress += adv
+		}
+	}
+}
+
+// stepPerm advances one permutation by one interval, mirroring
+// Machine.Step stage by stage (deadline guard disabled, static
+// strategy, no Releaser/Admission on the supported policies).
+func (b *batchState) stepPerm(p *batchPerm, zs []batchZone, bill []int32, now int64, i int) {
+	// Billing: commit completed instance-hours, zones in index order.
+	for _, bk := range bill {
+		z := &zs[bk]
+		if z.state != sim.Up {
+			continue
+		}
+		for now >= z.hourStart+trace.Hour {
+			p.cost += z.hourRate
+			z.hourStart += trace.Hour
+			z.hourRate = z.col[b.cols.Index(z.hourStart)]
+		}
+	}
+
+	// Instance state updates against the current spot prices, spec
+	// order.
+	for k := range zs {
+		z := &zs[k]
+		up := z.idx.Up(i)
+		switch z.state {
+		case sim.Up:
+			if !up {
+				// Provider kill: the in-progress hour is free and all
+				// speculative progress is lost; a checkpoint running on
+				// this zone aborts with it.
+				z.state = sim.Down
+				z.progress = p.committed
+				p.nUp--
+				if p.ckActive && p.ckPos == k {
+					p.ckActive = false
+				}
+			}
+		case sim.Pending:
+			if !up {
+				z.state = sim.Down
+			} else if z.readyAt <= now {
+				b.promote(p, z)
+			}
+		case sim.Waiting:
+			if !up {
+				z.state = sim.Down
+			}
+		case sim.Down:
+			if up {
+				z.state = sim.Waiting
+			}
+		}
+	}
+
+	// Checkpoint completion commits progress and wakes waiting zones.
+	if p.ckActive && now >= p.ckEnds {
+		p.committed = p.ckSnap
+		p.ckActive = false
+		b.startWaiting(p, zs, now)
+		if p.pol.kind == polMarkovDaly {
+			b.schedule(p, now)
+		}
+	}
+
+	// Policy hooks.
+	if p.nUp > 0 {
+		if !p.ckActive && b.condition(p, zs, now) {
+			b.beginCheckpoint(p, zs, now)
+		}
+	} else if b.startWaiting(p, zs, now) {
+		if p.pol.kind == polMarkovDaly {
+			b.schedule(p, now)
+		}
+	}
+
+	// Compute over [now, now+step) on every up zone, spec order. The
+	// estimation work budget (1 << 40 s) dwarfs any window, so the
+	// oracle's finish-on-completion branch is unreachable here.
+	for k := range zs {
+		z := &zs[k]
+		if z.state != sim.Up {
+			continue
+		}
+		activeStart := now
+		if z.busyUntil > activeStart {
+			activeStart = z.busyUntil
+		}
+		end := now + b.step
+		if activeStart >= end {
+			continue
+		}
+		z.progress += end - activeStart
+	}
+}
+
+// promote turns a Pending request into a running instance, opening its
+// meter at the ready time's price.
+func (b *batchState) promote(p *batchPerm, z *batchZone) {
+	z.state = sim.Up
+	p.nUp++
+	z.hourStart = z.readyAt
+	z.hourRate = z.col[b.cols.Index(z.readyAt)]
+	z.progress = p.committed
+	z.busyUntil = z.readyAt
+	if z.restore {
+		z.busyUntil += b.tr
+	}
+}
+
+// startWaiting submits spot requests for every waiting zone; the
+// estimation configuration's fixed queuing delay keeps the replay
+// deterministic without an RNG.
+func (b *batchState) startWaiting(p *batchPerm, zs []batchZone, now int64) bool {
+	any := false
+	for k := range zs {
+		z := &zs[k]
+		if z.state != sim.Waiting {
+			continue
+		}
+		z.state = sim.Pending
+		z.readyAt = now + estimationDelay
+		z.restore = p.committed > 0
+		any = true
+		if z.readyAt <= now {
+			b.promote(p, z)
+		}
+	}
+	return any
+}
+
+// condition evaluates CheckpointCondition for the permutation's policy.
+func (b *batchState) condition(p *batchPerm, zs []batchZone, now int64) bool {
+	if p.pol.kind == polMarkovDaly {
+		return now >= p.pol.ts
+	}
+	// Periodic: trigger once per billing hour of the leader — the Up
+	// zone with strictly greatest progress, first wins in spec order
+	// (env.Leader does not filter on BusyUntil) — at the last step from
+	// which the checkpoint still completes within the hour.
+	lead := -1
+	for k := range zs {
+		z := &zs[k]
+		if z.state == sim.Up && (lead < 0 || z.progress > zs[lead].progress) {
+			lead = k
+		}
+	}
+	if lead < 0 {
+		return false
+	}
+	hourEnd := zs[lead].hourStart + trace.Hour
+	if hourEnd == p.pol.lastHourEnd {
+		return false
+	}
+	remaining := hourEnd - now
+	if remaining > 0 && remaining <= b.tc+b.step {
+		p.pol.lastHourEnd = hourEnd
+		return true
+	}
+	return false
+}
+
+// beginCheckpoint starts a checkpoint on the most advanced non-busy up
+// zone, committing immediately when checkpoints are free.
+func (b *batchState) beginCheckpoint(p *batchPerm, zs []batchZone, now int64) {
+	lead := -1
+	for k := range zs {
+		z := &zs[k]
+		if z.state != sim.Up || z.busyUntil > now {
+			continue
+		}
+		if lead < 0 || z.progress > zs[lead].progress {
+			lead = k
+		}
+	}
+	if lead < 0 {
+		return
+	}
+	snap := zs[lead].progress // IterationSeconds is 0 in estimation replays
+	if snap <= p.committed {
+		return
+	}
+	p.ckActive = true
+	p.ckPos = lead
+	p.ckEnds = now + b.tc
+	p.ckSnap = snap
+	zs[lead].busyUntil = p.ckEnds
+	if b.tc == 0 {
+		p.committed = snap
+		p.ckActive = false
+		b.startWaiting(p, zs, now)
+		if p.pol.kind == polMarkovDaly {
+			b.schedule(p, now)
+		}
+	}
+}
+
+// schedule recomputes the Markov-Daly checkpoint time T_s.
+func (b *batchState) schedule(p *batchPerm, now int64) {
+	iv := b.interval(p, now)
+	if math.IsInf(iv, 1) {
+		p.pol.ts = b.deadline
+		return
+	}
+	p.pol.ts = now + int64(iv)
+}
+
+// interval returns Daly's interval at the decision time through the
+// permutation's memo column. Schedule times always fall on the step
+// grid — the reset schedule runs at the window start and every
+// reschedule happens inside a step — so the memo indexes by step.
+func (b *batchState) interval(p *batchPerm, now int64) float64 {
+	si := int((now - b.start) / b.step)
+	if v, ok := p.ivals.get(si); ok {
+		return v
+	}
+	v := b.computeInterval(p, now, si)
+	p.ivals.set(si, v)
+	return v
+}
+
+// computeInterval fits (or fetches) the per-zone chains on the trailing
+// history and applies Daly's estimate to their combined expected
+// uptime, mirroring MarkovDaly.computeInterval — including the lazy
+// short-circuit of markov.CombinedExpectedUptime, which stops solving
+// at the first unbounded zone.
+func (b *batchState) computeInterval(p *batchPerm, now int64, si int) float64 {
+	zs := b.zoneBuf[p.zoff : p.zoff+p.nz]
+	b.zsel = b.zsel[:0]
+	for k := range zs {
+		if b.chainAt(&zs[k], now, si, &p.pol) != nil {
+			b.zsel = append(b.zsel, int32(k))
+		}
+	}
+	if len(b.zsel) == 0 {
+		return math.Inf(1)
+	}
+	var mtbf float64
+	for _, k := range b.zsel {
+		u := b.uptimeAt(&zs[k], si, p.bid)
+		if math.IsInf(u, 1) {
+			mtbf = math.Inf(1)
+			break
+		}
+		mtbf += u
+	}
+	tc := float64(b.tc)
+	if p.pol.higher {
+		return daly.Optimal(tc, mtbf)
+	}
+	return daly.Young(tc, mtbf)
+}
+
+// chainAt returns the zone's chain fitted at the decision time, through
+// the memo column; nil records an unfittable history.
+func (b *batchState) chainAt(z *batchZone, now int64, si int, pol *batchPolicy) *markov.Model {
+	cm := z.cm
+	if !cm.done[si] {
+		cm.models[si] = b.fitModel(cm, z.zone, now, si, pol)
+		cm.done[si] = true
+	}
+	return cm.models[si]
+}
+
+// uptimeAt returns the zone's expected uptime at the decision time,
+// through the chain memo's bid-collapsed column: the solver reads the
+// bid only through the admitted state prefix (States ascending, admit
+// iff price <= bid) and the step's current price, so the solve is a
+// pure function of (fitted chain, prefix length k, price at step) and
+// every bid admitting k states shares one memo slot.
+func (b *batchState) uptimeAt(z *batchZone, si int, bid float64) float64 {
+	cm := z.cm
+	m := cm.models[si]
+	k := upCount(m.States, bid)
+	if k >= cm.ustride {
+		// Widen the grid; invalidating the narrower entries is fine,
+		// they are pure and recomputable.
+		cm.ustride = k + 8
+		cm.usolve = memoCol{}
+		cm.usolve.arm(b.nsteps * cm.ustride)
+	}
+	slot := si*cm.ustride + k
+	if v, ok := cm.usolve.get(slot); ok {
+		return v
+	}
+	v := b.solver.ExpectedUptime(m, bid, z.col[si])
+	cm.usolve.set(slot, v)
+	return v
+}
+
+// upCount returns how many of the ascending distinct states the bid
+// admits (price <= bid) — the length of the state prefix the uptime
+// solve actually reads.
+func upCount(states []float64, bid float64) int {
+	return sort.Search(len(states), func(i int) bool { return states[i] > bid })
+}
+
+// fitModel fits the zone's chain on the trailing history at the
+// decision time, on a recycled model; nil reports an unfittable (empty)
+// history. When the span reaches back to the window start the history
+// is the column prefix ending at the decision step and the memo's
+// prefix fitter handles it sort-free; otherwise the trailing window is
+// sampled into scratch, quantized in place (Round(p/q)*q,
+// value-identical to markov.Quantize) and fitted by the general fitter.
+func (b *batchState) fitModel(cm *chainMemo, zone int, now int64, si int, pol *batchPolicy) *markov.Model {
+	reuse := b.takeModel()
+	var m *markov.Model
+	var err error
+	if now-pol.span+b.step <= b.start {
+		if !cm.pfReady {
+			src := b.cols.Col(zone)
+			if pol.quantum > 0 {
+				cm.qbuf = append(cm.qbuf[:0], src...)
+				for i := range cm.qbuf {
+					cm.qbuf[i] = math.Round(cm.qbuf[i]/pol.quantum) * pol.quantum
+				}
+				src = cm.qbuf
+			}
+			cm.pf.Init(src, b.step)
+			cm.pfReady = true
+		}
+		m, err = cm.pf.Fit(si+1, reuse)
+	} else {
+		h := b.cols.HistoryInto(b.histBuf[:0], zone, now, pol.span)
+		b.histBuf = h
+		if pol.quantum > 0 {
+			for i := range h {
+				h[i] = math.Round(h[i]/pol.quantum) * pol.quantum
+			}
+		}
+		m, err = b.fitter.Fit(h, b.step, reuse)
+	}
+	if err != nil {
+		b.freeModels = append(b.freeModels, reuse)
+		return nil
+	}
+	return m
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// paperRegimes lists history windows cut from every trace regime the
+// paper experiments run on, at several decision times each.
+func paperRegimes() map[string]*trace.Set {
+	out := map[string]*trace.Set{}
+	sets := map[string]*trace.Set{
+		"low":       tracegen.LowVolatility(17),
+		"high":      tracegen.HighVolatility(17),
+		"megaspike": tracegen.LowVolatilityWithMegaSpike(17),
+		"moderate":  tracegen.MustGenerate(tracegen.ModerateVolatilityConfig(17, 7*24*12)),
+	}
+	for name, set := range sets {
+		for _, day := range []int64{1, 3, 5} {
+			at := set.Start() + day*24*trace.Hour
+			out[fmt.Sprintf("%s/day%d", name, day)] = set.Slice(at-12*trace.Hour, at)
+		}
+	}
+	return out
+}
+
+// TestBatchedMatchesOracleOnPaperTraces is the tentpole's differential
+// contract: over every paper trace regime, the batched engine's
+// estimates are bit-identical to per-permutation oracle replays — same
+// floats, not just close ones.
+func TestBatchedMatchesOracleOnPaperTraces(t *testing.T) {
+	oracle := &Evaluator{Workers: 1, DisableBatch: true}
+	batched := &Evaluator{Workers: 1}
+	for name, hist := range paperRegimes() {
+		want := oracle.MeasureAll(hist, permutationSpecs(NewPredictorCache()), 300, 300)
+		got := batched.MeasureAll(hist, permutationSpecs(NewPredictorCache()), 300, 300)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: batched estimates diverge from the oracle\noracle  %v\nbatched %v", name, want, got)
+		}
+	}
+}
+
+// TestAdaptiveBatchedMatchesOracleEndToEnd runs the full Adaptive
+// scheme — decisions, churn damping, live replay — with the batched and
+// the oracle evaluator and requires identical results.
+func TestAdaptiveBatchedMatchesOracleEndToEnd(t *testing.T) {
+	for _, seed := range []uint64{23, 41} {
+		hist, run := window(tracegen.HighVolatility(seed), 5, 2)
+		cfg := testConfig(hist, run, 300)
+		results := make([]*sim.Result, 2)
+		for i, disable := range []bool{false, true} {
+			a := NewAdaptive()
+			a.Eval = &Evaluator{Workers: 4, DisableBatch: disable}
+			res, err := sim.Run(cfg, a)
+			if err != nil {
+				t.Fatalf("seed %d disable=%v: %v", seed, disable, err)
+			}
+			results[i] = res
+		}
+		if !reflect.DeepEqual(results[0], results[1]) {
+			t.Errorf("seed %d: Adaptive diverges between batched and oracle evaluation:\nbatched %+v\noracle  %+v",
+				seed, results[0], results[1])
+		}
+	}
+}
+
+// fuzzPerm is the policy-free description of one fuzzed permutation, so
+// the oracle and batched evaluations can each get fresh policy
+// instances built from identical parameters.
+type fuzzPerm struct {
+	bid   float64
+	zones []int
+	kind  int // 0 Periodic, 1 Markov-Daly, 2 Markov-Daly (Young)
+}
+
+func (pp fuzzPerm) spec(cache *PredictorCache) sim.RunSpec {
+	var pol sim.CheckpointPolicy
+	switch pp.kind {
+	case 0:
+		pol = NewPeriodic()
+	case 1:
+		pol = withSharedCache(NewMarkovDaly(), cache)
+	default:
+		md := NewMarkovDaly()
+		md.HigherOrder = false
+		pol = withSharedCache(md, cache)
+	}
+	zones := append([]int(nil), pp.zones...)
+	return sim.RunSpec{Bid: pp.bid, Zones: zones, Policy: pol}
+}
+
+// FuzzBatchedMeasure drives random traces, bid grids, zone subsets
+// (sorted and not, occasionally invalid), overheads and policy mixes
+// through the batched engine and the machine oracle, requiring
+// bit-identical estimates. scripts/check.sh runs it alongside the other
+// fuzz targets.
+func FuzzBatchedMeasure(f *testing.F) {
+	for i := uint64(0); i < 8; i++ {
+		f.Add(i, i*2654435761)
+	}
+	f.Fuzz(func(t *testing.T, seed, mix uint64) {
+		rng := rand.New(rand.NewSource(int64(seed ^ (mix * 0x9e3779b97f4a7c15))))
+		nz := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(80)
+		epoch := int64(rng.Intn(400)) * 300
+		series := make([]*trace.Series, nz)
+		for z := range series {
+			prices := make([]float64, n)
+			for i := range prices {
+				prices[i] = 0.05 * float64(1+rng.Intn(20))
+			}
+			series[z] = &trace.Series{Zone: fmt.Sprintf("z%d", z), Epoch: epoch, Step: 300, Prices: prices}
+		}
+		hist := trace.MustNewSet(series...)
+		tc := int64(1+rng.Intn(4)) * 150
+		tr := int64(1+rng.Intn(4)) * 150
+
+		perms := make([]fuzzPerm, 1+rng.Intn(8))
+		for i := range perms {
+			order := rng.Perm(nz)
+			zones := order[:1+rng.Intn(nz)]
+			if rng.Intn(8) == 0 && len(zones) > 1 {
+				zones[0] = zones[1] // duplicate: must fall back, identically
+			}
+			bid := 0.05 * float64(1+rng.Intn(25))
+			if rng.Intn(16) == 0 {
+				bid = -bid // invalid: oracle fallback on both paths
+			}
+			perms[i] = fuzzPerm{bid: bid, zones: zones, kind: rng.Intn(3)}
+		}
+		shared := rng.Intn(2) == 0
+
+		build := func() []sim.RunSpec {
+			var cache *PredictorCache
+			if shared {
+				cache = NewPredictorCache()
+			}
+			specs := make([]sim.RunSpec, len(perms))
+			for i, pp := range perms {
+				specs[i] = pp.spec(cache)
+			}
+			return specs
+		}
+		oracle := &Evaluator{Workers: 1, DisableBatch: true}
+		batched := &Evaluator{Workers: 1}
+		want := oracle.MeasureAll(hist, build(), tc, tr)
+		got := batched.MeasureAll(hist, build(), tc, tr)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("batched diverges from oracle (seed=%d mix=%d):\noracle  %v\nbatched %v", seed, mix, want, got)
+		}
+	})
+}
+
+// batchPass runs one full batched sweep on preallocated state, the way
+// measureBatch does minus the pool and the span bookkeeping.
+func batchPass(t testing.TB, b *batchState, hist *trace.Set, specs []sim.RunSpec, out []estimate) {
+	b.reset(hist, 300, 300)
+	for i := range specs {
+		if !b.addPerm(i, specs[i]) {
+			t.Fatal("spec rejected by the batched engine")
+		}
+	}
+	span := float64(hist.Duration())
+	for j := range b.perms {
+		p := &b.perms[j]
+		b.runPerm(p)
+		out[p.out] = estimate{
+			progressRate: float64(p.maxProgress) / span,
+			costRate:     p.cost / span,
+		}
+	}
+}
+
+// TestBatchPassSteadyStateZeroAlloc pins the steady-state allocation
+// contract: once the scratch buffers and memo tables have grown to the
+// decision point's working set, a full batched sweep allocates nothing.
+func TestBatchPassSteadyStateZeroAlloc(t *testing.T) {
+	hist := estimationHistory(31)
+	specs := permutationSpecs(NewPredictorCache())
+	b := &batchState{}
+	out := make([]estimate, len(specs))
+	// Grow buffers to steady state. Recycled models circulate LIFO
+	// through fit sites of different state counts, so their backing
+	// arrays take a few passes to all reach their site's high-water
+	// capacity; after that a pass allocates nothing at all.
+	for i := 0; i < 20; i++ {
+		batchPass(t, b, hist, specs, out)
+	}
+	if n := testing.AllocsPerRun(10, func() { batchPass(t, b, hist, specs, out) }); n != 0 {
+		t.Errorf("steady-state batch pass allocates %v times per run, want 0", n)
+	}
+}
+
+// BenchmarkBidIndexBuild measures the per-(zone, bid) availability index
+// build over a 12-hour window.
+func BenchmarkBidIndexBuild(b *testing.B) {
+	hist := estimationHistory(31)
+	cols := trace.NewColumns(hist)
+	var bi trace.BidIndex
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bi.Build(cols, i%hist.NumZones(), 0.47)
+	}
+}
+
+// BenchmarkBatchPass measures one steady-state batched sweep of the
+// standard permutation grid over a 12-hour window.
+func BenchmarkBatchPass(b *testing.B) {
+	hist := estimationHistory(31)
+	specs := permutationSpecs(NewPredictorCache())
+	st := &batchState{}
+	out := make([]estimate, len(specs))
+	batchPass(b, st, hist, specs, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batchPass(b, st, hist, specs, out)
+	}
+}
+
+// BenchmarkMeasureAllBatched and BenchmarkMeasureAllOracle pair the two
+// MeasureAll paths over the identical grid, pool and span plumbing
+// included.
+func BenchmarkMeasureAllBatched(b *testing.B) {
+	benchmarkMeasureAll(b, false)
+}
+
+// BenchmarkMeasureAllOracle is the oracle side of the pair.
+func BenchmarkMeasureAllOracle(b *testing.B) {
+	benchmarkMeasureAll(b, true)
+}
+
+func benchmarkMeasureAll(b *testing.B, disable bool) {
+	hist := estimationHistory(31)
+	ev := &Evaluator{DisableBatch: disable}
+	specs := permutationSpecs(NewPredictorCache())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.MeasureAll(hist, specs, 300, 300)
+	}
+}

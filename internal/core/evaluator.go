@@ -28,6 +28,18 @@ type Evaluator struct {
 	// rankings plus a simulated-time span per estimation replay. Nil
 	// disables tracing at zero cost.
 	Trace *obs.Tracer
+	// DisableBatch routes every estimation replay through the
+	// per-permutation machine oracle instead of the columnar batched
+	// engine (batch.go). The two paths are bit-identical — the batched
+	// engine is differentially tested and fuzzed against the oracle —
+	// so this is an escape hatch for debugging and for the paired
+	// oracle-vs-batched benchmarks, not a semantic switch.
+	DisableBatch bool
+
+	// batchPool recycles batched-sweep scratch (columnar views,
+	// availability indexes, flat permutation state) across decision
+	// points. Because of it an Evaluator must not be copied after use.
+	batchPool sync.Pool
 }
 
 // NewEvaluator returns an evaluator with default parallelism.
@@ -36,6 +48,11 @@ func NewEvaluator() *Evaluator { return &Evaluator{} }
 // estimationSeed fixes the queuing-delay stream of every estimation
 // replay, as the original measure helper did.
 const estimationSeed = 7
+
+// estimationDelay is the fixed queuing delay of estimation replays, in
+// seconds. The batched engine hardcodes the same constant, which keeps
+// its replays rng-free like the oracle's.
+const estimationDelay int64 = 300
 
 // estimationCfg builds the guard-disabled replay configuration for a
 // history window.
@@ -47,7 +64,7 @@ func estimationCfg(hist *trace.Set, tc, tr int64) sim.Config {
 		Deadline:             huge,
 		CheckpointCost:       tc,
 		RestartCost:          tr,
-		Delay:                market.FixedDelay(300),
+		Delay:                market.FixedDelay(estimationDelay),
 		Seed:                 estimationSeed,
 		DisableDeadlineGuard: true,
 	}
@@ -86,18 +103,103 @@ func (ev *Evaluator) Measure(hist *trace.Set, spec sim.RunSpec, tc, tr int64) es
 // MeasureAll replays every permutation over the history window across
 // the worker pool and returns their estimates in input order. Each spec
 // must carry its own policy instance (policies hold run state); policy
-// instances may share a thread-safe PredictorCache.
+// instances may share a thread-safe PredictorCache. Unless DisableBatch
+// is set the sibling permutations are priced by the columnar batched
+// engine, with unsupported specs falling back to per-spec oracle
+// replays; either way the results are bit-identical to Measure. The
+// batched path leaves the spec's policy instances untouched (the oracle
+// mutates their run state during the replay; nothing reads it after).
 func (ev *Evaluator) MeasureAll(hist *trace.Set, specs []sim.RunSpec, tc, tr int64) []estimate {
+	batched := ev.batchUsable(hist)
 	sweep := ev.Trace.Start("eval.sweep")
 	if sweep.Recording() {
 		sweep.SetAttr("specs", strconv.Itoa(len(specs)))
+		sweep.SetAttr("batched", strconv.FormatBool(batched))
 	}
 	out := make([]estimate, len(specs))
-	pool.Run(ev.Workers, len(specs), func(i int) {
-		out[i] = ev.Measure(hist, specs[i], tc, tr)
-	})
+	if batched {
+		ev.measureBatch(hist, specs, tc, tr, out)
+	} else {
+		pool.Run(ev.Workers, len(specs), func(i int) {
+			out[i] = ev.Measure(hist, specs[i], tc, tr)
+		})
+	}
 	sweep.End()
 	return out
+}
+
+// batchUsable reports whether the batched engine may price replays over
+// the window; histories the oracle rejects wholesale (nil, empty,
+// malformed) keep the oracle path so the error handling stays
+// bit-identical.
+func (ev *Evaluator) batchUsable(hist *trace.Set) bool {
+	return !ev.DisableBatch && hist != nil && hist.Duration() > 0 && hist.Validate() == nil
+}
+
+// measureOne prices a single permutation through the batched engine
+// when possible, falling back to the oracle replay otherwise. It exists
+// for the Adaptive scheme's churn-damping re-evaluation, which prices
+// one incumbent spec between sweeps.
+func (ev *Evaluator) measureOne(hist *trace.Set, spec sim.RunSpec, tc, tr int64) estimate {
+	if !ev.batchUsable(hist) {
+		return ev.Measure(hist, spec, tc, tr)
+	}
+	b := ev.getBatch(hist, tc, tr)
+	if !b.addPerm(0, spec) {
+		ev.batchPool.Put(b)
+		return ev.Measure(hist, spec, tc, tr)
+	}
+	p := &b.perms[0]
+	b.runPerm(p)
+	span := float64(hist.Duration())
+	est := estimate{
+		progressRate: float64(p.maxProgress) / span,
+		costRate:     p.cost / span,
+	}
+	ev.batchPool.Put(b)
+	return est
+}
+
+// getBatch fetches pooled batch scratch armed for the window.
+func (ev *Evaluator) getBatch(hist *trace.Set, tc, tr int64) *batchState {
+	b, _ := ev.batchPool.Get().(*batchState)
+	if b == nil {
+		b = &batchState{}
+	}
+	b.reset(hist, tc, tr)
+	return b
+}
+
+// measureBatch prices the specs through the batched engine, writing
+// estimates into out in input order. The supported permutations replay
+// serially — the memo layers make the shared model work cheap, so a
+// worker fan-out would only buy lock traffic and allocation churn, and
+// serial replay keeps the results trivially worker-count-independent.
+// Specs the engine does not support take per-spec oracle replays across
+// the worker pool.
+func (ev *Evaluator) measureBatch(hist *trace.Set, specs []sim.RunSpec, tc, tr int64, out []estimate) {
+	b := ev.getBatch(hist, tc, tr)
+	for i := range specs {
+		if !b.addPerm(i, specs[i]) {
+			b.fallback = append(b.fallback, i)
+		}
+	}
+	span := float64(hist.Duration())
+	for j := range b.perms {
+		p := &b.perms[j]
+		b.runPerm(p)
+		out[p.out] = estimate{
+			progressRate: float64(p.maxProgress) / span,
+			costRate:     p.cost / span,
+		}
+	}
+	if len(b.fallback) > 0 {
+		pool.Run(ev.Workers, len(b.fallback), func(j int) {
+			i := b.fallback[j]
+			out[i] = ev.Measure(hist, specs[i], tc, tr)
+		})
+	}
+	ev.batchPool.Put(b)
 }
 
 // zoneAnalysis holds the fitted chain and per-bid closed-form analyses

@@ -32,6 +32,23 @@ type MarkovDaly struct {
 	// original fit-per-call behaviour.
 	cache *PredictorCache
 
+	// fitter fits chains without markov.Fit's per-call maps; safe as an
+	// instance field because policy hooks run on one goroutine. Models
+	// handed to the shared cache are fitted without storage recycling
+	// (they outlive the call); cache-free fits recycle per-zone scratch
+	// models that die with computeInterval.
+	fitter  markov.Fitter
+	scratch []*markov.Model
+
+	// Last cache-free interval computation, memoized by decision time:
+	// the interval is a pure function of the env state at a given Now
+	// for a fixed spec, and the engine Resets the policy whenever the
+	// spec changes, so a repeated query at the same Now (schedule after
+	// a checkpoint commit within one step, say) can reuse the value.
+	lastNow  int64
+	lastIval float64
+	lastOK   bool
+
 	ts int64 // scheduled checkpoint time T_s
 }
 
@@ -50,7 +67,10 @@ func NewMarkovDaly() *MarkovDaly {
 func (m *MarkovDaly) Name() string { return "markov-daly" }
 
 // Reset implements sim.CheckpointPolicy.
-func (m *MarkovDaly) Reset(env *sim.Env) { m.schedule(env) }
+func (m *MarkovDaly) Reset(env *sim.Env) {
+	m.lastOK = false
+	m.schedule(env)
+}
 
 // CheckpointCondition reports T = T_s.
 func (m *MarkovDaly) CheckpointCondition(env *sim.Env) bool {
@@ -89,7 +109,12 @@ func (m *MarkovDaly) interval(env *sim.Env) float64 {
 			return m.cache.interval(key, func() float64 { return m.computeInterval(env) })
 		}
 	}
-	return m.computeInterval(env)
+	if m.lastOK && env.Now == m.lastNow {
+		return m.lastIval
+	}
+	v := m.computeInterval(env)
+	m.lastNow, m.lastIval, m.lastOK = env.Now, v, true
+	return v
 }
 
 // computeInterval fits (or fetches) the per-zone chains and applies
@@ -101,8 +126,8 @@ func (m *MarkovDaly) computeInterval(env *sim.Env) float64 {
 	}
 	models := make([]*markov.Model, 0, len(env.Spec.Zones))
 	prices := make([]float64, 0, len(env.Spec.Zones))
-	for _, zi := range env.Spec.Zones {
-		mod := m.fitZone(env, zi, span)
+	for pos, zi := range env.Spec.Zones {
+		mod := m.fitZone(env, zi, span, pos)
 		if mod == nil {
 			continue
 		}
@@ -122,18 +147,39 @@ func (m *MarkovDaly) computeInterval(env *sim.Env) float64 {
 
 // fitZone fits the zone's chain on the trailing span of history,
 // through the shared cache when one is attached; nil reports an
-// unfittable (empty) history.
-func (m *MarkovDaly) fitZone(env *sim.Env, zi int, span int64) *markov.Model {
+// unfittable (empty) history. pos is the zone's position in the spec,
+// selecting the scratch model recycled on cache-free fits.
+func (m *MarkovDaly) fitZone(env *sim.Env, zi int, span int64, pos int) *markov.Model {
+	if m.cache == nil {
+		hist := m.quantized(env, zi, span)
+		for len(m.scratch) <= pos {
+			m.scratch = append(m.scratch, nil)
+		}
+		mod, err := m.fitter.Fit(hist, env.Step, m.scratch[pos])
+		if err != nil {
+			return nil
+		}
+		m.scratch[pos] = mod
+		return mod
+	}
 	fit := func() *markov.Model {
-		hist := markov.Quantize(env.PriceHistory(zi, span), m.Quantum)
-		mod, err := markov.Fit(hist, env.Step)
+		mod, err := m.fitter.Fit(m.quantized(env, zi, span), env.Step, nil)
 		if err != nil {
 			return nil
 		}
 		return mod
 	}
-	if m.cache == nil {
-		return fit()
-	}
 	return m.cache.chain(chainKey{zone: zi, now: env.Now, span: span, quantum: m.Quantum}, fit)
+}
+
+// quantized samples the zone's trailing history and buckets it in place
+// (PriceHistory returns a fresh slice, so no shared storage is touched).
+func (m *MarkovDaly) quantized(env *sim.Env, zi int, span int64) []float64 {
+	hist := env.PriceHistory(zi, span)
+	if m.Quantum > 0 {
+		for i, p := range hist {
+			hist[i] = math.Round(p/m.Quantum) * m.Quantum
+		}
+	}
+	return hist
 }

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -64,7 +63,7 @@ func (s *Suite) YearBound(windows int, slack float64, tc int64) (*YearBoundResul
 		results[i] = holder
 		tasks = append(tasks, task{
 			cfg:   s.Config(w, slack, tc),
-			strat: core.NewAdaptive(),
+			strat: s.newAdaptive(),
 			out:   &costs[i],
 			res:   &holder.r,
 		})

@@ -1,0 +1,404 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fitter fits price chains without the per-call allocations of Fit: the
+// distinct-state extraction and transition counting run in reusable
+// scratch buffers, and the produced Model can recycle the storage of a
+// previously fitted one. The batched permutation evaluator refits
+// hundreds of chains per decision point, which makes Fit's maps and
+// per-row slices the dominant allocation source; Fitter removes them
+// while producing bit-identical models (FitterMatchesFit in the tests
+// pins this).
+//
+// A Fitter is not safe for concurrent use.
+type Fitter struct {
+	sorted []float64
+	counts []float64
+}
+
+// Fit estimates the chain from a price sample sequence taken every step
+// seconds, exactly like the package-level Fit. When reuse is non-nil
+// its storage is recycled for the result (the caller must be done with
+// it); the returned model is reuse itself in that case.
+//
+// The input must not contain NaNs (every trace admitted by
+// trace.Validate is NaN-free): distinct states are extracted by sorting
+// rather than hashing, and the two agree only on NaN-free input.
+func (f *Fitter) Fit(prices []float64, step int64, reuse *Model) (*Model, error) {
+	if len(prices) == 0 {
+		return nil, ErrNoHistory
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("markov: non-positive step %d", step)
+	}
+	if reuse == nil {
+		reuse = &Model{}
+	}
+	// Distinct states, ascending. Equality here matches Fit's map-key
+	// equality (==, which also collapses -0 and +0). Quantized price
+	// samples carry few distinct values, so building the set by
+	// binary-search insertion beats sorting the whole sample; inputs
+	// with many distinct values fall back to sort-and-compact.
+	const insertionMax = 64
+	states := reuse.States[:0]
+	for _, p := range prices {
+		i := sort.SearchFloat64s(states, p)
+		if i < len(states) && states[i] == p {
+			continue
+		}
+		if len(states) == insertionMax {
+			states = states[:0]
+			break
+		}
+		states = append(states, 0)
+		copy(states[i+1:], states[i:])
+		states[i] = p
+	}
+	if len(states) == 0 {
+		f.sorted = append(f.sorted[:0], prices...)
+		sort.Float64s(f.sorted)
+		for i, p := range f.sorted {
+			if i == 0 || p != states[len(states)-1] {
+				states = append(states, p)
+			}
+		}
+	}
+	n := len(states)
+
+	if cap(f.counts) < n*n {
+		f.counts = make([]float64, n*n)
+	}
+	counts := f.counts[:n*n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	prev := stateIndex(states, prices[0])
+	for t := 1; t < len(prices); t++ {
+		cur := stateIndex(states, prices[t])
+		counts[prev*n+cur]++
+		prev = cur
+	}
+
+	// Row storage: one flat backing array, rows sliced out of it. When
+	// the reused model was produced by a Fitter its rows are contiguous
+	// slices of one array whose capacity row 0 still reaches, so the
+	// backing can be recovered; models from plain Fit just reallocate.
+	var flat []float64
+	if len(reuse.Trans) > 0 {
+		flat = reuse.Trans[0][:0]
+	}
+	if cap(flat) < n*n {
+		flat = make([]float64, n*n)
+	}
+	flat = flat[:n*n]
+	trans := reuse.Trans[:0]
+	for i := 0; i < n; i++ {
+		row := flat[i*n : (i+1)*n]
+		var total float64
+		for j := 0; j < n; j++ {
+			total += counts[i*n+j]
+		}
+		if total == 0 {
+			// A state with no observed outgoing transition (e.g. the
+			// final sample): treat it as absorbing.
+			for j := range row {
+				row[j] = 0
+			}
+			row[i] = 1
+		} else {
+			for j := 0; j < n; j++ {
+				row[j] = counts[i*n+j] / total
+			}
+		}
+		trans = append(trans, row)
+	}
+	reuse.States = states
+	reuse.Trans = trans
+	reuse.Step = step
+	reuse.Horizon = 0
+	return reuse, nil
+}
+
+// stateIndex locates a price among the sorted distinct states. Every
+// sample is present by construction, so the binary search always lands
+// on its state (with -0/+0 comparing equal, as in Fit's map).
+func stateIndex(states []float64, p float64) int {
+	return sort.SearchFloat64s(states, p)
+}
+
+// PrefixFitter fits chains on every prefix of one fixed price column
+// without re-sorting per fit. Init pays one distinct-value extraction
+// and one state-indexing pass over the full column; Fit extracts the
+// prefix's distinct states
+// by a first-occurrence filter and keeps one incremental transition
+// count table that advances sample by sample, so a sequence of fits at
+// non-decreasing prefix lengths over a column with D distinct values
+// costs O(Δ + D²) per fit, where Δ is the growth since the previous
+// fit (a shrinking prefix re-counts from the start). The produced
+// models are bit-identical to Fit over the same prefix
+// (PrefixFitterMatchesFit in the tests pins this): the batched
+// permutation evaluator replays a decision point whose model fit times
+// all share one column, which makes the per-fit sort of Fitter the
+// dominant cost.
+//
+// A PrefixFitter is not safe for concurrent use.
+type PrefixFitter struct {
+	prices []float64
+	step   int64
+
+	sorted []float64 // distinct column values, ascending
+	first  []int32   // first sample index of each distinct value
+	gid    []int32   // per-sample index into sorted
+
+	ccounts []float64 // column-wide transition counts over [0, curN)
+	curN    int       // samples covered by ccounts
+	gsel    []int32   // per-fit scratch: selected column states
+}
+
+// Init points the fitter at a price column sampled every step seconds
+// and precomputes its distinct-value structure. The column is aliased
+// and must not change until the next Init; buffers are reused across
+// calls. The column must be NaN-free (see Fitter.Fit).
+func (f *PrefixFitter) Init(prices []float64, step int64) {
+	f.prices = prices
+	f.step = step
+	// Distinct column values, ascending, built by binary-search
+	// insertion as in Fitter.Fit: quantized price columns carry few
+	// distinct values, so inserting beats sorting the whole column;
+	// columns with many distinct values fall back to sort-and-compact.
+	const insertionMax = 64
+	f.sorted = f.sorted[:0]
+	for _, p := range prices {
+		i := sort.SearchFloat64s(f.sorted, p)
+		if i < len(f.sorted) && f.sorted[i] == p {
+			continue
+		}
+		if len(f.sorted) == insertionMax {
+			f.sorted = f.sorted[:0]
+			break
+		}
+		f.sorted = append(f.sorted, 0)
+		copy(f.sorted[i+1:], f.sorted[i:])
+		f.sorted[i] = p
+	}
+	if len(f.sorted) == 0 && len(prices) > 0 {
+		tmp := append([]float64(nil), prices...)
+		sort.Float64s(tmp)
+		for i, p := range tmp {
+			if i == 0 || p != f.sorted[len(f.sorted)-1] {
+				f.sorted = append(f.sorted, p)
+			}
+		}
+	}
+	d := len(f.sorted)
+	if cap(f.first) < d {
+		f.first = make([]int32, d)
+		f.gsel = make([]int32, d)
+	}
+	f.first = f.first[:d]
+	for i := range f.first {
+		f.first[i] = -1
+	}
+	if cap(f.gid) < len(prices) {
+		f.gid = make([]int32, len(prices))
+	}
+	f.gid = f.gid[:len(prices)]
+	for t, p := range prices {
+		g := int32(stateIndex(f.sorted, p))
+		f.gid[t] = g
+		if f.first[g] < 0 {
+			f.first[g] = int32(t)
+		}
+	}
+	if cap(f.ccounts) < d*d {
+		f.ccounts = make([]float64, d*d)
+	}
+	f.ccounts = f.ccounts[:d*d]
+	for i := range f.ccounts {
+		f.ccounts[i] = 0
+	}
+	f.curN = 1
+}
+
+// Fit estimates the chain from the column's first n samples, exactly
+// like Fit over that prefix. When reuse is non-nil its storage is
+// recycled for the result, as in Fitter.Fit.
+func (f *PrefixFitter) Fit(n int, reuse *Model) (*Model, error) {
+	if n == 0 {
+		return nil, ErrNoHistory
+	}
+	if f.step <= 0 {
+		return nil, fmt.Errorf("markov: non-positive step %d", f.step)
+	}
+	if reuse == nil {
+		reuse = &Model{}
+	}
+	// Advance (or rewind and re-count) the incremental transition table
+	// to cover the first n samples. The counts are exact integers, so
+	// arriving at n incrementally or in one pass is value-identical.
+	d := len(f.sorted)
+	if n < f.curN {
+		for i := range f.ccounts {
+			f.ccounts[i] = 0
+		}
+		f.curN = 1
+	}
+	for t := f.curN; t < n; t++ {
+		f.ccounts[int(f.gid[t-1])*d+int(f.gid[t])]++
+	}
+	f.curN = n
+	// The prefix's distinct states are the column values first seen
+	// before n, in the same ascending order Fit would sort them into.
+	// Transitions among them are exactly the table entries at their
+	// column-state ids: every sample before n maps to a selected state,
+	// so no counted transition is dropped by the filter.
+	states := reuse.States[:0]
+	f.gsel = f.gsel[:0]
+	for g, fi := range f.first {
+		if fi >= 0 && fi < int32(n) {
+			f.gsel = append(f.gsel, int32(g))
+			states = append(states, f.sorted[g])
+		}
+	}
+	nn := len(f.gsel)
+
+	// Row storage recovery, as in Fitter.Fit.
+	var flat []float64
+	if len(reuse.Trans) > 0 {
+		flat = reuse.Trans[0][:0]
+	}
+	if cap(flat) < nn*nn {
+		flat = make([]float64, nn*nn)
+	}
+	flat = flat[:nn*nn]
+	trans := reuse.Trans[:0]
+	for i, gi := range f.gsel {
+		row := flat[i*nn : (i+1)*nn]
+		base := int(gi) * d
+		var total float64
+		for j, gj := range f.gsel {
+			c := f.ccounts[base+int(gj)]
+			row[j] = c
+			total += c
+		}
+		if total == 0 {
+			// A state with no observed outgoing transition (e.g. the
+			// final sample): treat it as absorbing.
+			row[i] = 1
+		} else {
+			for j := range row {
+				row[j] /= total
+			}
+		}
+		trans = append(trans, row)
+	}
+	reuse.States = states
+	reuse.Trans = trans
+	reuse.Step = f.step
+	reuse.Horizon = 0
+	return reuse, nil
+}
+
+// UptimeSolver computes Model.ExpectedUptimeExact without its per-call
+// allocations, keeping the elimination workspace across calls. The
+// arithmetic — up-state collection, the (I − U)·E = step·1 system, the
+// partial-pivot elimination of mat.Solve and its 1e-12 singularity
+// threshold — replays the method instruction for instruction, so the
+// results are bit-identical (SolverMatchesExact in the tests pins
+// this).
+//
+// An UptimeSolver is not safe for concurrent use.
+type UptimeSolver struct {
+	upIdx []int
+	aug   []float64
+	x     []float64
+}
+
+// ExpectedUptime returns m.ExpectedUptimeExact(bid, currentPrice),
+// computed in the solver's scratch space.
+func (s *UptimeSolver) ExpectedUptime(m *Model, bid, currentPrice float64) float64 {
+	start := m.StateOf(currentPrice)
+	if m.States[start] > bid {
+		return 0
+	}
+	s.upIdx = s.upIdx[:0]
+	pos := -1
+	for i, p := range m.States {
+		if p <= bid {
+			if i == start {
+				pos = len(s.upIdx)
+			}
+			s.upIdx = append(s.upIdx, i)
+		}
+	}
+	n := len(s.upIdx)
+	if cap(s.aug) < n*n {
+		s.aug = make([]float64, n*n)
+		s.x = make([]float64, n)
+	}
+	aug := s.aug[:n*n]
+	x := s.x[:n]
+	for r, i := range s.upIdx {
+		x[r] = float64(m.Step)
+		row := aug[r*n : (r+1)*n]
+		for c, j := range s.upIdx {
+			v := -m.Trans[i][j]
+			if r == c {
+				v += 1
+			}
+			row[c] = v
+		}
+	}
+	// Gaussian elimination with partial pivoting on the single-column
+	// system, mirroring mat.Solve.
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(aug[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug[r*n+col]); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-12 {
+			return math.Inf(1) // singular: the up set can hold forever
+		}
+		if pivot != col {
+			ri, rj := aug[pivot*n:(pivot+1)*n], aug[col*n:(col+1)*n]
+			for k := range ri {
+				ri[k], rj[k] = rj[k], ri[k]
+			}
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		pv := aug[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := aug[r*n+col] / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				aug[r*n+c] -= f * aug[col*n+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		sum := x[col]
+		for k := col + 1; k < n; k++ {
+			sum -= aug[col*n+k] * x[k]
+		}
+		x[col] = sum / aug[col*n+col]
+	}
+	v := x[pos]
+	if v < 0 || math.IsNaN(v) {
+		// Numerical noise on a nearly-singular system: treat as
+		// effectively unbounded.
+		return math.Inf(1)
+	}
+	return v
+}

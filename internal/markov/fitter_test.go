@@ -1,0 +1,164 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// modelsEqual compares two models bit-for-bit: the Fitter/PrefixFitter
+// contract is bit-identity with Fit, not approximation.
+func modelsEqual(t *testing.T, got, want *Model) {
+	t.Helper()
+	if got.Step != want.Step || got.Horizon != want.Horizon {
+		t.Fatalf("step/horizon = %d/%d, want %d/%d", got.Step, got.Horizon, want.Step, want.Horizon)
+	}
+	if len(got.States) != len(want.States) {
+		t.Fatalf("state count = %d, want %d", len(got.States), len(want.States))
+	}
+	for i := range want.States {
+		if got.States[i] != want.States[i] {
+			t.Fatalf("States[%d] = %v, want %v", i, got.States[i], want.States[i])
+		}
+	}
+	if len(got.Trans) != len(want.Trans) {
+		t.Fatalf("row count = %d, want %d", len(got.Trans), len(want.Trans))
+	}
+	for i := range want.Trans {
+		if len(got.Trans[i]) != len(want.Trans[i]) {
+			t.Fatalf("row %d length = %d, want %d", i, len(got.Trans[i]), len(want.Trans[i]))
+		}
+		for j := range want.Trans[i] {
+			if got.Trans[i][j] != want.Trans[i][j] {
+				t.Fatalf("Trans[%d][%d] = %v, want %v", i, j, got.Trans[i][j], want.Trans[i][j])
+			}
+		}
+	}
+}
+
+// quantPrices draws n samples from a small quantized alphabet, the shape
+// the batched evaluator feeds the fitters.
+func quantPrices(rng *rand.Rand, n, alphabet int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.05 * float64(1+rng.Intn(alphabet))
+	}
+	return out
+}
+
+// TestFitterMatchesFit pins Fitter.Fit to the package-level Fit
+// bit-for-bit, cycling one reuse model through inputs of different state
+// counts — including a wide-alphabet input that exercises the
+// sort-and-compact fallback past the insertion cap.
+func TestFitterMatchesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var f Fitter
+	var reuse *Model
+	cases := [][]float64{
+		{0.10},
+		{0.10, 0.10, 0.10},
+		quantPrices(rng, 50, 4),
+		quantPrices(rng, 300, 12),
+		quantPrices(rng, 40, 2),
+	}
+	// Wide alphabet: more than the insertion cap's 64 distinct values.
+	wide := make([]float64, 400)
+	for i := range wide {
+		wide[i] = 0.001 * float64(1+rng.Intn(300))
+	}
+	cases = append(cases, wide, quantPrices(rng, 25, 3))
+
+	for ci, prices := range cases {
+		want, err := Fit(prices, 300)
+		if err != nil {
+			t.Fatalf("case %d: Fit: %v", ci, err)
+		}
+		got, err := f.Fit(prices, 300, reuse)
+		if err != nil {
+			t.Fatalf("case %d: Fitter.Fit: %v", ci, err)
+		}
+		modelsEqual(t, got, want)
+		reuse = got // recycle into the next case
+	}
+
+	if _, err := f.Fit(nil, 300, nil); err != ErrNoHistory {
+		t.Fatalf("empty history error = %v, want ErrNoHistory", err)
+	}
+	if _, err := f.Fit([]float64{0.1}, 0, nil); err == nil {
+		t.Fatalf("non-positive step accepted")
+	}
+}
+
+// TestPrefixFitterMatchesFit pins PrefixFitter.Fit to Fit over every
+// probed prefix, including repeated lengths, a shrinking prefix (the
+// rewind path) and a wide-alphabet column.
+func TestPrefixFitterMatchesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	columns := [][]float64{
+		quantPrices(rng, 300, 8),
+		quantPrices(rng, 120, 2),
+		{0.25},
+	}
+	wide := make([]float64, 200)
+	for i := range wide {
+		wide[i] = 0.001 * float64(1+rng.Intn(150))
+	}
+	columns = append(columns, wide)
+
+	var pf PrefixFitter
+	for ci, col := range columns {
+		pf.Init(col, 300)
+		var reuse *Model
+		ns := []int{1, 2, len(col) / 2, len(col) / 2, len(col), len(col) / 3, len(col)}
+		for _, n := range ns {
+			if n < 1 {
+				n = 1
+			}
+			if n > len(col) {
+				n = len(col)
+			}
+			want, err := Fit(col[:n], 300)
+			if err != nil {
+				t.Fatalf("column %d: Fit(%d): %v", ci, n, err)
+			}
+			got, err := pf.Fit(n, reuse)
+			if err != nil {
+				t.Fatalf("column %d: PrefixFitter.Fit(%d): %v", ci, n, err)
+			}
+			modelsEqual(t, got, want)
+			reuse = got
+		}
+		if _, err := pf.Fit(0, nil); err != ErrNoHistory {
+			t.Fatalf("column %d: zero prefix error = %v, want ErrNoHistory", ci, err)
+		}
+	}
+}
+
+// TestSolverMatchesExact pins UptimeSolver.ExpectedUptime to
+// Model.ExpectedUptimeExact bit-for-bit over random chains, bids below,
+// inside and above the state range — +Inf singular escapes included.
+func TestSolverMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var s UptimeSolver
+	for trial := 0; trial < 50; trial++ {
+		prices := quantPrices(rng, 50+rng.Intn(200), 1+rng.Intn(10))
+		m, err := Fit(prices, 300)
+		if err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		cur := prices[rng.Intn(len(prices))]
+		for _, bid := range []float64{0.01, cur, cur + 0.05, 0.05 * 11, 2.0} {
+			want := m.ExpectedUptimeExact(bid, cur)
+			got := s.ExpectedUptime(m, bid, cur)
+			if math.IsInf(want, 1) {
+				if !math.IsInf(got, 1) {
+					t.Fatalf("trial %d bid %v: got %v, want +Inf", trial, bid, got)
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("trial %d bid %v: got %v, want %v", trial, bid, got, want)
+			}
+		}
+	}
+}

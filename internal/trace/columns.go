@@ -1,0 +1,263 @@
+package trace
+
+// Columnar view over a Set for batched replay. The evaluation hot path
+// (internal/core's batched estimator) prices every sibling permutation
+// of a decision point in one pass over the price window; what it needs
+// from the trace is struct-of-arrays access — per-zone price columns
+// indexed by step — plus, per (zone, candidate bid), a precomputed
+// up/down index so availability at any step resolves by lookup instead
+// of a price comparison re-derived per permutation. Columns and
+// BidIndex provide exactly that, aliasing the Set's price storage (no
+// copies) and reusing their own buffers across decisions via Reset.
+
+// Columns is a struct-of-arrays view over an aligned Set: one price
+// column per zone plus the shared time grid. The view aliases the Set's
+// price storage; it is cheap to build and must not outlive mutations of
+// the underlying Set. Index and PriceAt follow the exact clamping
+// semantics of Series.Index / Series.PriceAt, so a consumer switching
+// between the row view and the column view sees identical prices at
+// every time, including the edge cases (times at or past End, before
+// Start, zero-length windows, single-sample series).
+type Columns struct {
+	cols  [][]float64
+	start int64
+	step  int64
+	n     int
+}
+
+// NewColumns builds the columnar view of the set.
+func NewColumns(set *Set) *Columns {
+	c := &Columns{}
+	c.Reset(set)
+	return c
+}
+
+// Reset re-points the view at a new set, reusing the column-header
+// buffer.
+func (c *Columns) Reset(set *Set) {
+	c.cols = c.cols[:0]
+	for _, s := range set.Series {
+		c.cols = append(c.cols, s.Prices)
+	}
+	c.start = set.Start()
+	c.step = set.Step()
+	c.n = set.Series[0].Len()
+}
+
+// NumZones returns the number of price columns.
+func (c *Columns) NumZones() int { return len(c.cols) }
+
+// Steps returns the number of samples per column.
+func (c *Columns) Steps() int { return c.n }
+
+// Start returns the absolute time of the first sample.
+func (c *Columns) Start() int64 { return c.start }
+
+// Step returns the sampling interval in seconds.
+func (c *Columns) Step() int64 { return c.step }
+
+// End returns the absolute time just past the last sample.
+func (c *Columns) End() int64 { return c.start + int64(c.n)*c.step }
+
+// Col returns the zone's price column (aliased, read-only by
+// convention).
+func (c *Columns) Col(zone int) []float64 { return c.cols[zone] }
+
+// Index returns the sample index holding time t with the same clamping
+// as Series.Index: times before Start map to 0 and times at or past End
+// map to the final sample. A zero-length view returns 0.
+func (c *Columns) Index(t int64) int {
+	if c.n == 0 {
+		return 0
+	}
+	i := (t - c.start) / c.step
+	if i < 0 {
+		return 0
+	}
+	if i >= int64(c.n) {
+		return c.n - 1
+	}
+	return int(i)
+}
+
+// Price returns the zone's price at sample index i.
+func (c *Columns) Price(zone, i int) float64 { return c.cols[zone][i] }
+
+// PriceAt returns the zone's price in force at absolute time t,
+// clamping exactly like Series.PriceAt.
+func (c *Columns) PriceAt(zone int, t int64) float64 {
+	return c.cols[zone][c.Index(t)]
+}
+
+// History samples the zone's trailing price history — span seconds
+// ending at (and including) now, on the step grid, oldest first — with
+// the same bounds behaviour as sim.Env.PriceHistory over a history-free
+// config: the window start clamps to the view's Start. It returns a
+// fresh slice (nil when the window is empty), so callers may hand it to
+// model fitters that assume exclusive ownership.
+func (c *Columns) History(zone int, now, span int64) []float64 {
+	from := now - span + c.step
+	if from < c.start {
+		from = c.start
+	}
+	n := (now-from)/c.step + 1
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, 0, n)
+	col := c.cols[zone]
+	for t := from; t <= now; t += c.step {
+		out = append(out, col[c.Index(t)])
+	}
+	return out
+}
+
+// HistoryInto is History appending into a caller-provided buffer
+// (usually buf[:0]), for hot paths that refit models per replay step
+// and cannot afford a fresh slice per call. The sampled values are
+// identical to History's; an empty window appends nothing.
+func (c *Columns) HistoryInto(buf []float64, zone int, now, span int64) []float64 {
+	from := now - span + c.step
+	if from < c.start {
+		from = c.start
+	}
+	if (now-from)/c.step+1 <= 0 {
+		return buf
+	}
+	col := c.cols[zone]
+	for t := from; t <= now; t += c.step {
+		buf = append(buf, col[c.Index(t)])
+	}
+	return buf
+}
+
+// BidIndex is the precomputed availability index of one (zone, bid)
+// pair: per step, whether the zone's price admits the bid (price ≤ bid,
+// the paper's "up" condition), plus a next-up skip table so a replay
+// whose zones are all down can jump directly to the next step where one
+// becomes available.
+type BidIndex struct {
+	// Zone is the indexed zone.
+	Zone int
+	// Bid is the indexed candidate bid.
+	Bid float64
+
+	up   []bool
+	next []int32
+	chg  []int32
+}
+
+// Build populates the index for the (zone, bid) pair over the columnar
+// view, reusing the receiver's buffers.
+func (bi *BidIndex) Build(c *Columns, zone int, bid float64) {
+	bi.Zone = zone
+	bi.Bid = bid
+	n := c.n
+	if cap(bi.up) < n {
+		bi.up = make([]bool, n)
+		bi.next = make([]int32, n+1)
+		bi.chg = make([]int32, n)
+	}
+	bi.up = bi.up[:n]
+	bi.next = bi.next[:n+1]
+	bi.chg = bi.chg[:n]
+	col := c.cols[zone]
+	bi.next[n] = int32(n)
+	for i := n - 1; i >= 0; i-- {
+		u := col[i] <= bid
+		bi.up[i] = u
+		if u {
+			bi.next[i] = int32(i)
+		} else {
+			bi.next[i] = bi.next[i+1]
+		}
+		if i == n-1 || u != bi.up[i+1] {
+			bi.chg[i] = int32(i + 1)
+		} else {
+			bi.chg[i] = bi.chg[i+1]
+		}
+	}
+}
+
+// Up reports whether the zone is available at step i.
+func (bi *BidIndex) Up(i int) bool { return bi.up[i] }
+
+// NextUp returns the first step at or after i where the zone is
+// available, or Steps() when it never is again.
+func (bi *BidIndex) NextUp(i int) int { return int(bi.next[i]) }
+
+// NextChange returns the first step after i where the zone's
+// availability differs from its availability at i, or Steps() when it
+// never changes again. An event-driven replay uses this to bound the
+// stretch over which every zone's up/down state is constant.
+func (bi *BidIndex) NextChange(i int) int { return int(bi.chg[i]) }
+
+// UpIntervals reconstructs the maximal availability intervals from the
+// index; it must agree with Series.UpIntervals at the same bid (the
+// columnar view's equivalence test exercises this).
+func (bi *BidIndex) UpIntervals(c *Columns) []Interval {
+	var out []Interval
+	open := false
+	var start int64
+	for i := 0; i < len(bi.up); i++ {
+		t := c.start + int64(i)*c.step
+		if bi.up[i] {
+			if !open {
+				open = true
+				start = t
+			}
+		} else if open {
+			open = false
+			out = append(out, Interval{Start: start, End: t})
+		}
+	}
+	if open {
+		out = append(out, Interval{Start: start, End: c.End()})
+	}
+	return out
+}
+
+// AvailIndex caches BidIndex instances per (zone, bid) pair for one
+// columnar view. Reset recycles every index's buffers into a free list,
+// so the steady state of a caller evaluating the same grid of bids over
+// successive windows allocates nothing. The working set is a bid grid
+// times a handful of zones, so lookups scan the pair list linearly —
+// cheaper than hashing a (zone, float64) key at these sizes.
+type AvailIndex struct {
+	cols  *Columns
+	pairs []*BidIndex
+	free  []*BidIndex
+}
+
+// NewAvailIndex returns an empty availability cache for the view.
+func NewAvailIndex(cols *Columns) *AvailIndex {
+	return &AvailIndex{cols: cols}
+}
+
+// Reset re-points the cache at a (possibly re-Reset) columnar view and
+// recycles all cached indexes.
+func (x *AvailIndex) Reset(cols *Columns) {
+	x.cols = cols
+	x.free = append(x.free, x.pairs...)
+	x.pairs = x.pairs[:0]
+}
+
+// Get returns the availability index of the (zone, bid) pair, building
+// it on first use.
+func (x *AvailIndex) Get(zone int, bid float64) *BidIndex {
+	for _, bi := range x.pairs {
+		if bi.Zone == zone && bi.Bid == bid {
+			return bi
+		}
+	}
+	var bi *BidIndex
+	if n := len(x.free); n > 0 {
+		bi = x.free[n-1]
+		x.free = x.free[:n-1]
+	} else {
+		bi = &BidIndex{}
+	}
+	bi.Build(x.cols, zone, bid)
+	x.pairs = append(x.pairs, bi)
+	return bi
+}

@@ -7,11 +7,19 @@
 # 5% on the macro (AdaptiveDecision) pair; CI uploads the file as an
 # artifact so regressions are diffable across runs.
 #
-# Usage: scripts/bench.sh [output-file]   (default BENCH_obs.json)
+# The same run also covers the batched-replay pair (AdaptiveDecision
+# Batched vs Oracle, plus the BatchRank macro) and writes BENCH_batch
+# .json with the measured speedup_x and allocation ratio. The batched
+# engine replacing per-permutation machine replays is the whole point,
+# so the script fails if it measures slower than the oracle.
+#
+# Usage: scripts/bench.sh [obs-output] [batch-output]
+#        (defaults BENCH_obs.json, BENCH_batch.json)
 set -eu
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_obs.json}
+batchout=${2:-BENCH_batch.json}
 count=${BENCH_COUNT:-3}
 clients=${BENCH_CLIENTS:-50}
 duration=${BENCH_DURATION:-3s}
@@ -20,8 +28,8 @@ tmp=$(mktemp)
 self=$(mktemp)
 trap 'rm -f "$tmp" "$self"' EXIT
 
-echo "bench: go test -bench 'AdaptiveDecision|MachineReset' -count $count" >&2
-go test -run '^$' -bench 'AdaptiveDecision|MachineReset' -benchmem \
+echo "bench: go test -bench 'AdaptiveDecision|MachineReset|BatchRank' -count $count" >&2
+go test -run '^$' -bench 'AdaptiveDecision|MachineReset|BatchRank' -benchmem \
 	-count "$count" . | tee /dev/stderr >"$tmp"
 
 echo "bench: quoted -selfbench $clients -bench-duration $duration" >&2
@@ -78,3 +86,39 @@ END {
 ' "$tmp" >"$out"
 
 echo "bench: wrote $out" >&2
+
+# Batched-replay report: same benchmark output, different lens. The
+# Batched/Oracle rows come from one interleaved run, so the speedup is
+# a same-machine ratio rather than a cross-run comparison.
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	ns = $3; allocs = $7
+	if (!(name in best) || ns + 0 < best[name] + 0) {
+		best[name] = ns; alloc[name] = allocs
+	}
+}
+END {
+	b = best["AdaptiveDecisionBatched"]; o = best["AdaptiveDecisionOracle"]
+	if (b == "" || o == "") {
+		print "bench: missing AdaptiveDecisionBatched/Oracle pair" > "/dev/stderr"
+		exit 1
+	}
+	speed = (o + 0) / (b + 0)
+	ar = (alloc["AdaptiveDecisionOracle"] + 0) / (alloc["AdaptiveDecisionBatched"] + 0)
+	printf "{\n"
+	printf "  \"adaptive_decision\": {\"batched_ns_per_op\": %s, \"oracle_ns_per_op\": %s, \"speedup_x\": %.2f, \"batched_allocs_per_op\": %s, \"oracle_allocs_per_op\": %s, \"alloc_ratio_x\": %.2f},\n", \
+		b, o, speed, alloc["AdaptiveDecisionBatched"], alloc["AdaptiveDecisionOracle"], ar
+	printf "  \"batch_rank\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}\n", \
+		best["BatchRank"], alloc["BatchRank"]
+	printf "}\n"
+	if (speed < 1) {
+		printf "bench: batched evaluator slower than oracle (%.2fx)\n", speed > "/dev/stderr"
+		exit 1
+	}
+}
+' "$tmp" >"$batchout"
+
+echo "bench: wrote $batchout" >&2

@@ -3,9 +3,10 @@
 # the race detector, then a short chaos soak. The suite includes
 # doccheck_test.go (exported-symbol doc coverage) and the golden
 # determinism tests of the replay engine, the parallel permutation
-# evaluator and the quote service, so a green run certifies
-# correctness, bit-for-bit reproducibility of the figures, and
-# byte-identical plan serving. The soak replays the live pipeline
+# evaluator, the batched replay engine (differential against the
+# machine oracle, plus the FuzzBatchedMeasure sweep below) and the
+# quote service, so a green run certifies correctness, bit-for-bit
+# reproducibility of the figures, and byte-identical plan serving. The soak replays the live pipeline
 # through 20 seeded fault scenarios and fails on a missed deadline
 # without fallback, ledger inconsistency, goroutine leaks or
 # nondeterminism.
@@ -23,4 +24,5 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -run '^$' -fuzz '^FuzzRowParser$' -fuzztime 5s ./internal/livesched
+go test -run '^$' -fuzz '^FuzzBatchedMeasure$' -fuzztime 5s ./internal/core
 go run ./cmd/chaossim -runs 20 -seed 1
