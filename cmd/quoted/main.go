@@ -33,7 +33,6 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -147,7 +146,10 @@ func benchRequests() [][]byte {
 
 // runSelfbench boots the service on an ephemeral local listener, fires
 // clients concurrent request loops at it for dur, and prints
-// throughput, latency quantiles and cache statistics.
+// throughput, latency quantiles and cache statistics. Latencies go
+// through the same obs.Histogram machinery the cluster simulator's
+// capacity curves use, so single-instance p50/p99 and fleet p50/p99 in
+// BENCH_cluster.json are directly comparable numbers.
 func runSelfbench(svc *quote.Service, handler http.Handler, clients int, dur time.Duration) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -164,10 +166,9 @@ func runSelfbench(svc *quote.Service, handler http.Handler, clients int, dur tim
 	reqs := benchRequests()
 
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		total     atomic.Int64
-		errs      atomic.Int64
+		latency = obs.NewHistogram(nil)
+		total   atomic.Int64
+		errs    atomic.Int64
 	)
 	deadline := time.Now().Add(dur)
 	var wg sync.WaitGroup
@@ -175,7 +176,6 @@ func runSelfbench(svc *quote.Service, handler http.Handler, clients int, dur tim
 	for c := 0; c < clients; c++ {
 		go func(c int) {
 			defer wg.Done()
-			var local []time.Duration
 			for i := 0; time.Now().Before(deadline); i++ {
 				body := reqs[(c+i)%len(reqs)]
 				start := time.Now()
@@ -189,12 +189,9 @@ func runSelfbench(svc *quote.Service, handler http.Handler, clients int, dur tim
 				}
 				_, _ = new(bytes.Buffer).ReadFrom(resp.Body)
 				resp.Body.Close()
-				local = append(local, time.Since(start))
+				latency.Observe(time.Since(start).Seconds())
 				total.Add(1)
 			}
-			mu.Lock()
-			latencies = append(latencies, local...)
-			mu.Unlock()
 		}(c)
 	}
 	wg.Wait()
@@ -203,22 +200,12 @@ func runSelfbench(svc *quote.Service, handler http.Handler, clients int, dur tim
 		return err
 	}
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	q := func(p float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(latencies)))
-		if i >= len(latencies) {
-			i = len(latencies) - 1
-		}
-		return latencies[i]
-	}
 	m := svc.Stats()
 	fmt.Printf("selfbench: %d clients × %s\n", clients, dur)
 	fmt.Printf("  requests      %d (%.0f req/s), errors %d\n",
 		total.Load(), float64(total.Load())/dur.Seconds(), errs.Load())
-	fmt.Printf("  latency       p50 %s  p95 %s  p99 %s\n", q(0.50), q(0.95), q(0.99))
+	fmt.Printf("  latency       p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
+		latency.Quantile(0.50)*1e3, latency.Quantile(0.95)*1e3, latency.Quantile(0.99)*1e3)
 	fmt.Printf("  cache         hits %d  misses %d  coalesced %d\n",
 		m.CacheHits.Load(), m.CacheMisses.Load(), m.Coalesced.Load())
 	if errs.Load() > 0 {

@@ -1,0 +1,251 @@
+// Command quotelb is the fleet's front door: it fans /v1/quote
+// requests across N quoted backends with a pluggable routing policy,
+// per-tenant token-bucket admission control, and health-aware backend
+// ejection with buffered failover — a dying backend costs a retry, not
+// a client-visible error.
+//
+// Policies:
+//
+//	affinity      rendezvous-hash the canonical request key, so
+//	              identical quotes land on the same backend's plan
+//	              cache (the default)
+//	least-loaded  prefer the backend with the fewest in-flight requests
+//	round-robin   cycle through the fleet
+//
+// Usage:
+//
+//	quoted -addr :8081 -preset high &
+//	quoted -addr :8082 -preset high &
+//	quoted -addr :8083 -preset high &
+//	quotelb -addr :8080 -backends http://localhost:8081,http://localhost:8082,http://localhost:8083
+//	curl -s localhost:8080/v1/quote -d '{"work_hours":20,"deadline_hours":30,"history_window":12}'
+//
+// Admission control: -rate/-burst set the shared default bucket and
+// repeated -quota tenant=rate:burst flags give named tenants (the
+// X-Tenant request header) private buckets; exhausted quotas answer
+// 429 with a dedicated metric.
+//
+// With -sim the binary runs the in-process cluster simulator instead
+// of serving: N real quote services behind the real router, swept
+// across offered-load levels per policy by a seeded open-loop
+// workload, with the capacity curves (p50/p99 latency, error rate,
+// plan-cache hit rate vs offered load), the quota-exhaustion scenario
+// and the mid-run backend-kill scenario reported as JSON on stdout.
+// The process exits non-zero if affinity routing misses round-robin's
+// cache-hit-rate floor, quota exhaustion produces no counted 429s, or
+// the killed backend is not ejected cleanly — scripts/bench.sh runs
+// exactly this as the BENCH_cluster.json gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/httpx"
+	"repro/internal/obs"
+	"repro/internal/quote"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quotelb: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	backends := flag.String("backends", "", "comma-separated quoted base URLs (required unless -sim)")
+	policyName := flag.String("policy", "affinity", "routing policy: affinity, least-loaded, round-robin")
+	rate := flag.Float64("rate", 0, "default-bucket admission rate in req/s (0: unlimited)")
+	burst := flag.Float64("burst", 0, "default-bucket burst (0: same as -rate)")
+	maxAttempts := flag.Int("max-attempts", 0, "forward attempts per request (0: every backend once)")
+	breakerFails := flag.Int("breaker-failures", quote.DefaultBreakerThreshold, "consecutive forward failures that eject a backend")
+	breakerCooldown := flag.Duration("breaker-cooldown", quote.DefaultBreakerCooldown, "ejection period before a readmission probe")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "active /healthz probe interval for ejected backends (0: passive only)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	traceSpans := flag.Int("trace-spans", 0, "trace routing spans into a ring of this size, served at /debug/trace (0: disabled)")
+
+	quotas := map[string]cluster.Quota{}
+	flag.Func("quota", "per-tenant quota as tenant=rate:burst (repeatable)", func(s string) error {
+		tenant, q, err := parseQuota(s)
+		if err != nil {
+			return err
+		}
+		quotas[tenant] = q
+		return nil
+	})
+
+	simOn := flag.Bool("sim", false, "run the in-process cluster simulator and print BENCH_cluster JSON instead of serving")
+	simBackends := flag.Int("sim-backends", 3, "simulated fleet size")
+	simSeed := flag.Uint64("sim-seed", 1, "simulator workload/history seed")
+	simLoads := flag.String("sim-loads", "300,1200,4800", "comma-separated offered-load levels in req/s")
+	simDur := flag.Duration("sim-duration", 2*time.Second, "simulator run time per (policy, load) level")
+	simHot := flag.Float64("sim-hot", 0.85, "fraction of simulated requests drawn from the repeated hot set")
+	flag.Parse()
+
+	if *simOn {
+		if err := runSim(*simBackends, *simSeed, *simLoads, *simDur, *simHot); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *backends == "" {
+		log.Fatal("-backends is required (or use -sim)")
+	}
+	fleet, err := parseBackends(*backends, *breakerFails, *breakerCooldown)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := cluster.ParsePolicy(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var limiter *cluster.Limiter
+	if *rate > 0 || len(quotas) > 0 {
+		b := *burst
+		if b <= 0 {
+			b = *rate
+		}
+		limiter = &cluster.Limiter{Default: cluster.Quota{Rate: *rate, Burst: b}, Tenants: quotas}
+	}
+	router := &cluster.Router{
+		Backends:    fleet,
+		Policy:      policy,
+		Limiter:     limiter,
+		MaxAttempts: *maxAttempts,
+	}
+
+	var tracer *obs.Tracer
+	if *traceSpans > 0 {
+		tracer = obs.NewTracer(*traceSpans)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", httpx.Wrap(router.Handler(), tracer))
+	obs.Mount(mux, tracer, *pprofOn)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *probeInterval > 0 {
+		probeClient := &http.Client{Timeout: httpx.ProxyDialTimeout}
+		go router.ProbeLoop(ctx, *probeInterval, func(ctx context.Context, b *cluster.Backend) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.Name+"/healthz", nil)
+			if err != nil {
+				return err
+			}
+			resp, err := probeClient.Do(req)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("healthz %s", resp.Status)
+			}
+			return nil
+		})
+	}
+
+	log.Printf("routing %d backends with %s policy at http://%s/v1/quote (metrics at /metrics)",
+		len(fleet), policy.Name(), *addr)
+	srv := httpx.NewServer(*addr, mux)
+	if err := httpx.ListenAndServe(ctx, srv, httpx.DefaultGrace); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBackends builds proxied backends from comma-separated base URLs;
+// each backend is named by its base URL, which doubles as the probe
+// target.
+func parseBackends(list string, threshold int, cooldown time.Duration) ([]*cluster.Backend, error) {
+	var out []*cluster.Backend
+	seen := map[string]bool{}
+	for _, raw := range strings.Split(list, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("bad backend URL %q (want e.g. http://host:8081)", raw)
+		}
+		name := strings.TrimSuffix(u.String(), "/")
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate backend %q", name)
+		}
+		seen[name] = true
+		b := cluster.NewBackend(name, httpx.Proxy(u, nil))
+		b.Breaker = &quote.Breaker{Threshold: threshold, Cooldown: cooldown}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no backends in %q", list)
+	}
+	return out, nil
+}
+
+// parseQuota parses tenant=rate:burst (burst optional, defaults to
+// rate).
+func parseQuota(s string) (string, cluster.Quota, error) {
+	tenant, spec, ok := strings.Cut(s, "=")
+	if !ok || tenant == "" {
+		return "", cluster.Quota{}, fmt.Errorf("bad -quota %q (want tenant=rate:burst)", s)
+	}
+	rateStr, burstStr, hasBurst := strings.Cut(spec, ":")
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate <= 0 {
+		return "", cluster.Quota{}, fmt.Errorf("bad -quota rate in %q", s)
+	}
+	burst := rate
+	if hasBurst {
+		if burst, err = strconv.ParseFloat(burstStr, 64); err != nil || burst < 1 {
+			return "", cluster.Quota{}, fmt.Errorf("bad -quota burst in %q", s)
+		}
+	}
+	return tenant, cluster.Quota{Rate: rate, Burst: burst}, nil
+}
+
+// runSim runs the capacity-curve simulator and prints its JSON report,
+// failing the process if an acceptance gate does not hold.
+func runSim(backends int, seed uint64, loads string, dur time.Duration, hot float64) error {
+	var levels []float64
+	for _, f := range strings.Split(loads, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad -sim-loads entry %q", f)
+		}
+		levels = append(levels, v)
+	}
+	log.Printf("sim: %d backends, %d load levels × %s per policy, seed %d", backends, len(levels), dur, seed)
+	res, err := cluster.RunSim(cluster.SimConfig{
+		Backends:    backends,
+		Seed:        seed,
+		Loads:       levels,
+		Duration:    dur,
+		HotFraction: hot,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	for _, p := range res.Curves {
+		log.Printf("sim: %-12s %6.0f req/s offered → p50 %7.2fms p99 %8.2fms errors %.3f%% cache-hit %.1f%%",
+			p.Policy, p.OfferedRPS, p.P50Ms, p.P99Ms, 100*p.ErrorRate, 100*p.CacheHitRate)
+	}
+	log.Printf("sim: affinity cache-hit %.1f%% vs round-robin %.1f%%; quota 429s %d; kill ejections %d errors %d",
+		100*res.Duel.AffinityHitRate, 100*res.Duel.RoundRobinHitRate,
+		res.Quota.Throttled, res.Kill.Ejections, res.Kill.Errors)
+	return res.Check()
+}

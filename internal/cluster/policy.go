@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Policy orders a fleet's backends by routing preference for one
+// request. The router forwards to the first ordered backend whose
+// breaker admits it and fails over down the order, so a policy decides
+// preference, never availability. Implementations must be safe for
+// concurrent use.
+type Policy interface {
+	// Name is the policy's wire name, used in flags, metrics and the
+	// capacity-curve report.
+	Name() string
+	// Order fills dst (len(backends)) with backend indexes, most
+	// preferred first. key is the request's affinity hash
+	// (quote.Request.AffinityKey); policies that don't partition the
+	// key space ignore it.
+	Order(key uint64, backends []*Backend, dst []int)
+}
+
+// Policies returns a fresh instance of every routing policy, in the
+// order the capacity-curve report presents them.
+func Policies() []Policy {
+	return []Policy{NewRoundRobin(), NewLeastLoaded(), NewAffinity()}
+}
+
+// ParsePolicy maps a wire name to a fresh policy instance.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: unknown routing policy %q (want round-robin, least-loaded or affinity)", name)
+}
+
+// RoundRobin cycles through the backends in fleet order: request i
+// prefers backend i mod N and fails over to i+1, i+2, … — the
+// stateless baseline every other policy is measured against.
+type RoundRobin struct {
+	next atomic.Uint64
+}
+
+// NewRoundRobin returns a round-robin policy starting at backend 0.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Order implements Policy.
+func (p *RoundRobin) Order(_ uint64, backends []*Backend, dst []int) {
+	n := len(backends)
+	start := int(p.next.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		dst[i] = (start + i) % n
+	}
+}
+
+// LeastLoaded prefers the backend with the fewest in-flight requests,
+// breaking ties deterministically by fleet index. Under uniform
+// backends it behaves like join-shortest-queue; under a degraded
+// backend it naturally sheds load away from the slow instance, whose
+// queue stays long.
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns a least-loaded policy.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Policy.
+func (*LeastLoaded) Name() string { return "least-loaded" }
+
+// Order implements Policy.
+func (*LeastLoaded) Order(_ uint64, backends []*Backend, dst []int) {
+	// Snapshot the gauges first so the sort sees a consistent keying
+	// even while forwards complete concurrently.
+	loads := make([]int64, len(backends))
+	for i, b := range backends {
+		loads[i] = b.InFlight()
+		dst[i] = i
+	}
+	sort.SliceStable(dst, func(a, b int) bool {
+		if loads[dst[a]] != loads[dst[b]] {
+			return loads[dst[a]] < loads[dst[b]]
+		}
+		return dst[a] < dst[b]
+	})
+}
+
+// Affinity partitions the request key space across the fleet with
+// rendezvous (highest-random-weight) hashing on the canonical quote
+// request key: every backend scores each key and the highest score
+// wins, with the rest of the order doubling as the failover chain.
+// Identical quote requests therefore land on the same backend's plan
+// cache, and a backend joining or leaving remaps only the keys whose
+// winning score changed — roughly 1/N of the space — instead of
+// reshuffling everything the way mod-N hashing would.
+type Affinity struct{}
+
+// NewAffinity returns an affinity policy.
+func NewAffinity() *Affinity { return &Affinity{} }
+
+// Name implements Policy.
+func (*Affinity) Name() string { return "affinity" }
+
+// Order implements Policy.
+func (*Affinity) Order(key uint64, backends []*Backend, dst []int) {
+	scores := make([]uint64, len(backends))
+	for i, b := range backends {
+		scores[i] = rendezvousScore(key, b.Name)
+		dst[i] = i
+	}
+	sort.SliceStable(dst, func(a, b int) bool {
+		if scores[dst[a]] != scores[dst[b]] {
+			return scores[dst[a]] > scores[dst[b]]
+		}
+		return backends[dst[a]].Name < backends[dst[b]].Name
+	})
+}
+
+// rendezvousScore hashes (backend name, request key) with FNV-64a. The
+// name goes first so each backend owns an independent permutation of
+// the key space.
+func rendezvousScore(key uint64, name string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, name)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], key)
+	h.Write(buf[:])
+	return h.Sum64()
+}

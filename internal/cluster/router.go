@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/quote"
+)
+
+// Router fans quote requests across a fleet of backends: admission
+// control first, then policy-ordered forwarding with buffered failover
+// — a backend answering 5xx (or a proxy answering 502 for a dead
+// process) costs a breaker failure and the request silently moves to
+// the next backend in the order, so a mid-run backend kill degrades to
+// a failover, never to a client-visible error, as long as one backend
+// survives. Fields are read at first use and must not change
+// afterwards. A Router is safe for concurrent use.
+type Router struct {
+	// Backends is the fleet, in stable order; names must be unique.
+	Backends []*Backend
+	// Policy orders backends per request; nil selects round-robin.
+	Policy Policy
+	// Limiter is per-tenant admission control; nil admits everything.
+	Limiter *Limiter
+	// Metrics receives router counters; nil selects a private instance
+	// (retrievable via Stats).
+	Metrics *Metrics
+	// MaxAttempts bounds forward attempts per request; 0 tries every
+	// backend once.
+	MaxAttempts int
+
+	once sync.Once
+}
+
+// init lazily fills defaults and registers per-backend metrics.
+func (r *Router) init() {
+	r.once.Do(func() {
+		if r.Policy == nil {
+			r.Policy = NewRoundRobin()
+		}
+		if r.Metrics == nil {
+			r.Metrics = NewMetrics()
+		}
+		r.Metrics.registerBackends(r.Backends)
+		r.Metrics.registerTenants(r.Limiter)
+	})
+}
+
+// Stats returns the router's metrics sink.
+func (r *Router) Stats() *Metrics {
+	r.init()
+	return r.Metrics
+}
+
+// Available returns how many backends are currently routable.
+func (r *Router) Available() int {
+	n := 0
+	for _, b := range r.Backends {
+		if b.Available() {
+			n++
+		}
+	}
+	return n
+}
+
+// Handler returns the front door's HTTP surface:
+//
+//	POST /v1/quote   — routed to a backend (X-Backend names which)
+//	GET  /healthz    — 200 while ≥1 backend is routable, else 503
+//	GET  /metrics    — router counters and latency quantiles (text)
+//
+// Everything else is 404: the router deliberately exposes no backend
+// debug surface.
+func (r *Router) Handler() http.Handler {
+	r.init()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/quote", r.route)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		avail := r.Available()
+		if avail == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "degraded: 0/%d backends available\n", len(r.Backends))
+			return
+		}
+		fmt.Fprintf(w, "ok: %d/%d backends available\n", avail, len(r.Backends))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.Metrics.Render(w)
+	})
+	return mux
+}
+
+// route is the request path: decode → admit → order → forward with
+// failover.
+func (r *Router) route(w http.ResponseWriter, req *http.Request) {
+	m := r.Metrics
+	m.Requests.Inc()
+	start := time.Now()
+
+	body, err := io.ReadAll(io.LimitReader(req.Body, quote.MaxBodyBytes))
+	if err != nil {
+		m.BadRequests.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: reading body: %v", quote.ErrInvalidRequest, err))
+		return
+	}
+	qreq, err := quote.DecodeRequest(bytes.NewReader(body))
+	if err != nil {
+		// Reject malformed bodies at the front door: they could never
+		// produce a plan, so burning a backend round-trip (and a
+		// failover budget) on them only helps an attacker.
+		m.BadRequests.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	qreq.Normalize()
+
+	tenant := req.Header.Get("X-Tenant")
+	if r.Limiter != nil && !r.Limiter.Allow(tenant) {
+		m.QuotaRejected.Inc()
+		if tenant == "" {
+			tenant = "default"
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf("quota exhausted for tenant %q", tenant))
+		return
+	}
+
+	span := obs.FromContext(req.Context())
+	span.SetAttr("policy", r.Policy.Name())
+
+	order := make([]int, len(r.Backends))
+	r.Policy.Order(qreq.AffinityKey(), r.Backends, order)
+	maxAttempts := r.MaxAttempts
+	if maxAttempts <= 0 || maxAttempts > len(order) {
+		maxAttempts = len(order)
+	}
+
+	attempts := 0
+	for _, idx := range order {
+		if attempts >= maxAttempts {
+			break
+		}
+		b := r.Backends[idx]
+		allowed, probe := b.Breaker.Allow()
+		if !allowed {
+			continue // ejected and still cooling down
+		}
+		if probe {
+			m.Probes.Inc()
+		}
+		attempts++
+		if attempts > 1 {
+			m.Failovers.Inc()
+		}
+
+		cap := r.forward(req, b, body)
+		if cap.code >= http.StatusInternalServerError {
+			b.failures.Inc()
+			if b.Breaker.Failure() {
+				m.Ejections.Inc()
+			}
+			continue // buffered response: nothing reached the client yet
+		}
+		b.Breaker.Success()
+		if probe {
+			m.Readmissions.Inc()
+		}
+		b.served.Inc()
+		m.Routed.Inc()
+		span.SetAttr("backend", b.Name)
+		if attempts > 1 {
+			span.SetAttr("failovers", strconv.Itoa(attempts-1))
+		}
+
+		h := w.Header()
+		for k, vs := range cap.header {
+			h[k] = vs
+		}
+		h.Set("X-Backend", b.Name)
+		w.WriteHeader(cap.code)
+		w.Write(cap.body.Bytes())
+		m.latency.Observe(time.Since(start).Seconds())
+		return
+	}
+	m.Unroutable.Inc()
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("no backend available (%d/%d routable, %d attempts)", r.Available(), len(r.Backends), attempts))
+}
+
+// forward replays the buffered request body against one backend and
+// captures the full response so a failing attempt can be discarded and
+// retried elsewhere without the client seeing partial output.
+func (r *Router) forward(req *http.Request, b *Backend, body []byte) *capture {
+	span := obs.FromContext(req.Context()).Child("lb.forward")
+	span.SetAttr("backend", b.Name)
+	defer span.End()
+
+	attempt := req.Clone(req.Context())
+	attempt.Body = io.NopCloser(bytes.NewReader(body))
+	attempt.ContentLength = int64(len(body))
+
+	cap := newCapture()
+	b.inflight.Add(1)
+	b.Handler.ServeHTTP(cap, attempt)
+	b.inflight.Add(-1)
+	if cap.code == 0 {
+		cap.code = http.StatusOK
+	}
+	span.SetAttr("status", strconv.Itoa(cap.code))
+	return cap
+}
+
+// ProbeLoop actively re-checks ejected backends every interval with
+// check (e.g. a GET /healthz round-trip) until ctx is done, so a
+// recovered backend rejoins the fleet without waiting for live traffic
+// to spend a probe on it. Pacing is still the breaker's: an ejected
+// backend is only checked once its cooldown admits a half-open probe.
+func (r *Router) ProbeLoop(ctx context.Context, interval time.Duration, check func(context.Context, *Backend) error) {
+	r.init()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, b := range r.Backends {
+			if b.Available() {
+				continue
+			}
+			allowed, probe := b.Breaker.Allow()
+			if !allowed || !probe {
+				continue
+			}
+			r.Metrics.Probes.Inc()
+			if err := check(ctx, b); err != nil {
+				b.Breaker.Failure()
+				continue
+			}
+			b.Breaker.Success()
+			r.Metrics.Readmissions.Inc()
+		}
+	}
+}
+
+// capture is a buffered http.ResponseWriter: the router only flushes a
+// captured response to the real client once an attempt is accepted.
+type capture struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+// newCapture returns an empty response buffer.
+func newCapture() *capture { return &capture{header: make(http.Header)} }
+
+// Header implements http.ResponseWriter.
+func (c *capture) Header() http.Header { return c.header }
+
+// WriteHeader implements http.ResponseWriter, keeping the first status.
+func (c *capture) WriteHeader(code int) {
+	if c.code == 0 {
+		c.code = code
+	}
+}
+
+// Write implements http.ResponseWriter, defaulting the status to 200.
+func (c *capture) Write(p []byte) (int, error) {
+	if c.code == 0 {
+		c.code = http.StatusOK
+	}
+	return c.body.Write(p)
+}
+
+// writeError sends the quote service's JSON error envelope shape.
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}

@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/quote"
+	"repro/internal/tracegen"
+)
+
+// SimConfig parameterises the in-process cluster simulator: N real
+// quote.Service backends behind the real Router, driven by a seeded
+// open-loop workload, so cluster capacity is measured before anything
+// is deployed. The zero value selects the documented defaults.
+type SimConfig struct {
+	// Backends is the fleet size; 0 selects 3.
+	Backends int
+	// Seed seeds both the synthetic price history and the workload
+	// mix; 0 selects 1. Equal seeds replay the identical request
+	// sequence against every policy, so curves are comparable.
+	Seed uint64
+	// Loads are the offered-load levels in req/s; nil selects
+	// 300, 1200, 4800.
+	Loads []float64
+	// Duration is the run time per (policy, load) level; 0 selects 2s.
+	Duration time.Duration
+	// HotFraction is the share of requests drawn from the repeated hot
+	// set (the cacheable traffic); 0 selects 0.85.
+	HotFraction float64
+	// HotShapes is the number of distinct hot request shapes; 0 selects
+	// 12 (mirroring quoted -selfbench's mix).
+	HotShapes int
+	// Policies are the routing policies to sweep; nil selects all
+	// three.
+	Policies []string
+	// QuotaRate is tenant-a's admission rate in req/s for the quota
+	// scenario; 0 selects 50.
+	QuotaRate float64
+	// BreakerThreshold is each backend's consecutive-failure ejection
+	// bound; 0 selects 3.
+	BreakerThreshold int
+}
+
+// normalize fills defaults in place.
+func (c *SimConfig) normalize() {
+	if c.Backends <= 0 {
+		c.Backends = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Loads) == 0 {
+		c.Loads = []float64{300, 1200, 4800}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.HotFraction <= 0 || c.HotFraction > 1 {
+		c.HotFraction = 0.85
+	}
+	if c.HotShapes <= 0 {
+		c.HotShapes = 12
+	}
+	if len(c.Policies) == 0 {
+		for _, p := range Policies() {
+			c.Policies = append(c.Policies, p.Name())
+		}
+	}
+	if c.QuotaRate <= 0 {
+		c.QuotaRate = 50
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+}
+
+// CurvePoint is one (policy, offered load) capacity measurement.
+type CurvePoint struct {
+	Policy       string  `json:"policy"`
+	OfferedRPS   float64 `json:"offered_rps"`
+	AchievedRPS  float64 `json:"achieved_rps"`
+	Sent         int64   `json:"sent"`
+	OK           int64   `json:"ok"`
+	Errors       int64   `json:"errors"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	ErrorRate    float64 `json:"error_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// HitRateDuel compares plan-cache hit rates between affinity and
+// round-robin routing over the identical workload.
+type HitRateDuel struct {
+	AffinityHitRate   float64 `json:"affinity_hit_rate"`
+	RoundRobinHitRate float64 `json:"round_robin_hit_rate"`
+	AffinityWins      bool    `json:"affinity_wins"`
+}
+
+// QuotaResult is the per-tenant admission scenario: tenant-a offered
+// several times its quota must see 429s, counted on the dedicated
+// metric.
+type QuotaResult struct {
+	TenantRateRPS  float64 `json:"tenant_rate_rps"`
+	OfferedRPS     float64 `json:"offered_rps"`
+	Sent           int64   `json:"sent"`
+	OK             int64   `json:"ok"`
+	Throttled      int64   `json:"throttled_429"`
+	RejectedMetric int64   `json:"quota_rejected_total"`
+	TenantRejected int64   `json:"tenant_rejected_total"`
+}
+
+// KillResult is the mid-run backend-kill scenario: the dead backend
+// must be ejected while every client request still gets an answer —
+// the fleet-level deadline-or-fallback guarantee.
+type KillResult struct {
+	Policy        string `json:"policy"`
+	KilledBackend string `json:"killed_backend"`
+	Sent          int64  `json:"sent"`
+	OK            int64  `json:"ok"`
+	Errors        int64  `json:"errors"`
+	Failovers     int64  `json:"failovers"`
+	Ejections     int64  `json:"ejections"`
+	Held          bool   `json:"deadline_or_fallback_held"`
+}
+
+// SimResult is the simulator's full report, serialised to
+// BENCH_cluster.json by scripts/bench.sh.
+type SimResult struct {
+	Backends    int          `json:"backends"`
+	Seed        uint64       `json:"seed"`
+	DurationSec float64      `json:"duration_per_level_s"`
+	HotFraction float64      `json:"hot_fraction"`
+	Curves      []CurvePoint `json:"curves"`
+	Duel        HitRateDuel  `json:"affinity_vs_round_robin"`
+	Quota       QuotaResult  `json:"quota_scenario"`
+	Kill        KillResult   `json:"kill_scenario"`
+}
+
+// Check reports whether the run satisfies the cluster acceptance
+// gates: affinity at or above round-robin's cache-hit-rate floor,
+// quota exhaustion visible as 429s on the dedicated metric, and a
+// mid-run backend kill ejected without a client-visible error.
+func (r *SimResult) Check() error {
+	if !r.Duel.AffinityWins {
+		return fmt.Errorf("cluster sim: affinity hit rate %.4f below round-robin floor %.4f",
+			r.Duel.AffinityHitRate, r.Duel.RoundRobinHitRate)
+	}
+	if r.Quota.Throttled == 0 || r.Quota.RejectedMetric == 0 {
+		return fmt.Errorf("cluster sim: quota scenario produced no 429s (throttled=%d metric=%d)",
+			r.Quota.Throttled, r.Quota.RejectedMetric)
+	}
+	if r.Kill.Ejections == 0 {
+		return fmt.Errorf("cluster sim: killed backend was never ejected")
+	}
+	if !r.Kill.Held {
+		return fmt.Errorf("cluster sim: %d client-visible errors after backend kill — deadline-or-fallback broken",
+			r.Kill.Errors)
+	}
+	return nil
+}
+
+// RunSim sweeps every configured policy across every offered-load
+// level on a fresh fleet each time (cold caches, identical seeded
+// workload), then runs the quota and backend-kill scenarios.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	cfg.normalize()
+	res := &SimResult{
+		Backends:    cfg.Backends,
+		Seed:        cfg.Seed,
+		DurationSec: cfg.Duration.Seconds(),
+		HotFraction: cfg.HotFraction,
+	}
+
+	hits := map[string]int64{}
+	lookups := map[string]int64{}
+	for _, name := range cfg.Policies {
+		for _, rps := range cfg.Loads {
+			policy, err := ParsePolicy(name)
+			if err != nil {
+				return nil, err
+			}
+			fleet := newSimFleet(cfg, policy, nil)
+			stats := newLevelStats()
+			start := time.Now()
+			driveOpenLoop(fleet.handler, newWorkload(cfg), rps, cfg.Duration, "", stats)
+			elapsed := time.Since(start).Seconds()
+			h, m := fleet.cacheStats()
+			point := CurvePoint{
+				Policy:      name,
+				OfferedRPS:  rps,
+				AchievedRPS: float64(stats.ok.Load()) / elapsed,
+				Sent:        stats.sent.Load(),
+				OK:          stats.ok.Load(),
+				Errors:      stats.errors.Load(),
+				P50Ms:       stats.hist.Quantile(0.50) * 1e3,
+				P99Ms:       stats.hist.Quantile(0.99) * 1e3,
+			}
+			if point.Sent > 0 {
+				point.ErrorRate = float64(point.Errors) / float64(point.Sent)
+			}
+			if h+m > 0 {
+				point.CacheHitRate = float64(h) / float64(h+m)
+			}
+			res.Curves = append(res.Curves, point)
+			hits[name] += h
+			lookups[name] += h + m
+		}
+	}
+	if lookups["affinity"] > 0 && lookups["round-robin"] > 0 {
+		aff := float64(hits["affinity"]) / float64(lookups["affinity"])
+		rr := float64(hits["round-robin"]) / float64(lookups["round-robin"])
+		res.Duel = HitRateDuel{AffinityHitRate: aff, RoundRobinHitRate: rr, AffinityWins: aff >= rr}
+	}
+
+	res.Quota = runQuotaScenario(cfg)
+	res.Kill = runKillScenario(cfg)
+	return res, nil
+}
+
+// runQuotaScenario offers tenant-a 4× its quota for one second and
+// records the 429s.
+func runQuotaScenario(cfg SimConfig) QuotaResult {
+	limiter := &Limiter{Tenants: map[string]Quota{
+		"tenant-a": {Rate: cfg.QuotaRate, Burst: cfg.QuotaRate},
+	}}
+	fleet := newSimFleet(cfg, NewAffinity(), limiter)
+	stats := newLevelStats()
+	offered := 4 * cfg.QuotaRate
+	driveOpenLoop(fleet.handler, newWorkload(cfg), offered, time.Second, "tenant-a", stats)
+	return QuotaResult{
+		TenantRateRPS:  cfg.QuotaRate,
+		OfferedRPS:     offered,
+		Sent:           stats.sent.Load(),
+		OK:             stats.ok.Load(),
+		Throttled:      stats.throttled.Load(),
+		RejectedMetric: fleet.router.Stats().QuotaRejected.Load(),
+		TenantRejected: limiter.Rejected()["tenant-a"],
+	}
+}
+
+// runKillScenario kills one backend halfway through a run and checks
+// ejection plus the fleet-level deadline-or-fallback guarantee (no
+// client-visible errors: every request is answered by a surviving
+// backend).
+func runKillScenario(cfg SimConfig) KillResult {
+	fleet := newSimFleet(cfg, NewAffinity(), nil)
+	stats := newLevelStats()
+	timer := time.AfterFunc(cfg.Duration/2, func() { fleet.kill.dead.Store(true) })
+	defer timer.Stop()
+	driveOpenLoop(fleet.handler, newWorkload(cfg), cfg.Loads[0], cfg.Duration, "", stats)
+	m := fleet.router.Stats()
+	return KillResult{
+		Policy:        "affinity",
+		KilledBackend: fleet.router.Backends[0].Name,
+		Sent:          stats.sent.Load(),
+		OK:            stats.ok.Load(),
+		Errors:        stats.errors.Load(),
+		Failovers:     m.Failovers.Load(),
+		Ejections:     m.Ejections.Load(),
+		Held:          stats.errors.Load() == 0 && stats.ok.Load() == stats.sent.Load(),
+	}
+}
+
+// simFleet is N in-process quote services behind one real router.
+// Backend 0 carries a kill switch for the failure scenario.
+type simFleet struct {
+	router   *Router
+	handler  http.Handler
+	services []*quote.Service
+	kill     *killSwitch
+}
+
+// newSimFleet builds a cold fleet over one shared synthetic history.
+func newSimFleet(cfg SimConfig, policy Policy, limiter *Limiter) *simFleet {
+	set := tracegen.HighVolatility(cfg.Seed)
+	f := &simFleet{}
+	backends := make([]*Backend, cfg.Backends)
+	for i := range backends {
+		svc := &quote.Service{Source: &quote.StaticSource{Set: set}}
+		f.services = append(f.services, svc)
+		var h http.Handler = quote.NewHandler(svc)
+		if i == 0 {
+			f.kill = &killSwitch{h: h}
+			h = f.kill
+		}
+		b := NewBackend(fmt.Sprintf("quoted-%d", i), h)
+		// A long cooldown keeps a killed backend ejected for the whole
+		// scenario instead of re-probing the corpse every few seconds.
+		b.Breaker = &quote.Breaker{Threshold: cfg.BreakerThreshold, Cooldown: time.Hour}
+		backends[i] = b
+	}
+	f.router = &Router{Backends: backends, Policy: policy, Limiter: limiter}
+	f.handler = f.router.Handler()
+	return f
+}
+
+// cacheStats sums plan-cache hits and misses across the fleet.
+func (f *simFleet) cacheStats() (hits, misses int64) {
+	for _, svc := range f.services {
+		m := svc.Stats()
+		hits += m.CacheHits.Load()
+		misses += m.CacheMisses.Load()
+	}
+	return hits, misses
+}
+
+// killSwitch simulates a crashed backend: once dead, every request
+// fails the way a reverse proxy to a dead process does (a 5xx with no
+// useful body), which is what trips the router's breaker.
+type killSwitch struct {
+	dead atomic.Bool
+	h    http.Handler
+}
+
+// ServeHTTP implements http.Handler.
+func (k *killSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.dead.Load() {
+		http.Error(w, "backend down", http.StatusBadGateway)
+		return
+	}
+	k.h.ServeHTTP(w, r)
+}
+
+// workload generates the seeded open-loop request mix: HotFraction of
+// requests repeat one of HotShapes cacheable shapes (quoted
+// -selfbench's grid of work × slack), the rest are unique shapes that
+// can never hit any cache. next is called from the single scheduler
+// goroutine only.
+type workload struct {
+	rng         *rand.Rand
+	hot         [][]byte
+	hotFraction float64
+	uniq        int
+}
+
+// newWorkload builds the deterministic mix for one run.
+func newWorkload(cfg SimConfig) *workload {
+	w := &workload{
+		rng:         rand.New(rand.NewSource(int64(cfg.Seed))),
+		hotFraction: cfg.HotFraction,
+	}
+	for _, work := range []float64{4, 8, 12, 16, 20, 24} {
+		for _, slack := range []float64{1.2, 1.5} {
+			w.hot = append(w.hot, quoteBody(work, work*slack))
+		}
+	}
+	for len(w.hot) < cfg.HotShapes {
+		w.hot = append(w.hot, w.hot[len(w.hot)%12])
+	}
+	w.hot = w.hot[:cfg.HotShapes]
+	return w
+}
+
+// next returns the next request body in the mix.
+func (w *workload) next() []byte {
+	if w.rng.Float64() < w.hotFraction {
+		return w.hot[w.rng.Intn(len(w.hot))]
+	}
+	w.uniq++
+	work := 2 + float64(w.uniq)*0.001
+	return quoteBody(work, work*1.5)
+}
+
+// quoteBody renders one /v1/quote request body.
+func quoteBody(work, deadline float64) []byte {
+	return []byte(fmt.Sprintf(`{"work_hours":%g,"deadline_hours":%g,"history_window":3,"max_zones":2}`,
+		work, deadline))
+}
+
+// levelStats accumulates one run's outcomes.
+type levelStats struct {
+	sent, ok, errors, throttled atomic.Int64
+	hist                        *obs.Histogram
+}
+
+// newLevelStats returns empty stats.
+func newLevelStats() *levelStats { return &levelStats{hist: obs.NewHistogram(nil)} }
+
+// driveOpenLoop fires rps requests per second at handler for dur,
+// open-loop: arrivals follow the schedule regardless of completions,
+// so saturation shows up as queueing latency in the histogram, exactly
+// as it would for real clients. It returns once every in-flight
+// request has been answered.
+func driveOpenLoop(handler http.Handler, w *workload, rps float64, dur time.Duration, tenant string, stats *levelStats) {
+	interval := time.Duration(float64(time.Second) / rps)
+	n := int(rps * dur.Seconds())
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if d := time.Until(t0.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		body := w.next()
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, "/v1/quote", bytes.NewReader(body))
+			if err != nil {
+				stats.errors.Add(1)
+				stats.sent.Add(1)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if tenant != "" {
+				req.Header.Set("X-Tenant", tenant)
+			}
+			start := time.Now()
+			rec := newCapture()
+			handler.ServeHTTP(rec, req)
+			stats.hist.Observe(time.Since(start).Seconds())
+			stats.sent.Add(1)
+			switch {
+			case rec.code == http.StatusOK:
+				stats.ok.Add(1)
+			case rec.code == http.StatusTooManyRequests:
+				stats.throttled.Add(1)
+			default:
+				stats.errors.Add(1)
+			}
+		}(body)
+	}
+	wg.Wait()
+}

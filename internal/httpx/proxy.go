@@ -1,0 +1,40 @@
+package httpx
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"time"
+)
+
+// ProxyDialTimeout bounds how long the proxy transport waits for a
+// backend connection; a dead backend must fail fast so the router can
+// fail over instead of pinning a client for the OS connect timeout.
+const ProxyDialTimeout = 2 * time.Second
+
+// Proxy returns a reverse proxy to target, sharing the repository's
+// serving policy: a bounded connect timeout so dead backends fail fast,
+// and transport errors surfaced as a 502 JSON error envelope (matching
+// the quote service's error shape) instead of the default bare text.
+// onError, when non-nil, observes every transport-level failure — the
+// cluster router uses it to count backend faults without parsing
+// response bodies.
+func Proxy(target *url.URL, onError func(error)) http.Handler {
+	p := httputil.NewSingleHostReverseProxy(target)
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.DialContext = (&net.Dialer{Timeout: ProxyDialTimeout}).DialContext
+	p.Transport = transport
+	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		if onError != nil {
+			onError(err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		json.NewEncoder(w).Encode(struct {
+			Error string `json:"error"`
+		}{Error: "upstream unreachable: " + err.Error()})
+	}
+	return p
+}

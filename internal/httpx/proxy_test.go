@@ -1,0 +1,75 @@
+package httpx
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestProxyForwards round-trips a request through the proxy and checks
+// method, path, body and headers arrive intact.
+func TestProxyForwards(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/quote" || string(body) != `{"x":1}` {
+			t.Errorf("backend saw %s %s body %q", r.Method, r.URL.Path, body)
+		}
+		if got := r.Header.Get("X-Tenant"); got != "acme" {
+			t.Errorf("X-Tenant header = %q, want acme", got)
+		}
+		w.Header().Set("X-Backend", "b0")
+		w.Write([]byte("ok"))
+	}))
+	defer backend.Close()
+	u, err := url.Parse(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Proxy(u, nil)
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/quote", strings.NewReader(`{"x":1}`))
+	req.Header.Set("X-Tenant", "acme")
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+		t.Fatalf("proxied response %d %q", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Backend"); got != "b0" {
+		t.Fatalf("response header X-Backend = %q, want b0", got)
+	}
+}
+
+// TestProxyDeadBackend checks a connection failure maps to a 502 JSON
+// envelope and fires the error callback, so a router can count the
+// fault and fail over.
+func TestProxyDeadBackend(t *testing.T) {
+	// A listener that is immediately closed yields a port that refuses
+	// connections.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	u, err := url.Parse(dead.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead.Close()
+
+	var seen int
+	p := Proxy(u, func(error) { seen++ })
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("dead backend returned %d, want 502", rec.Code)
+	}
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil || envelope.Error == "" {
+		t.Fatalf("bad 502 envelope %q (%v)", rec.Body.String(), err)
+	}
+	if seen != 1 {
+		t.Fatalf("error callback fired %d times, want 1", seen)
+	}
+}

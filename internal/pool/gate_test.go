@@ -72,6 +72,87 @@ func TestGateAcquireCancellation(t *testing.T) {
 	g.Release()
 }
 
+// TestGateQueuedCancellation queues many waiters behind a full gate,
+// cancels a subset while they are still queued, and checks the
+// cancelled waiters all observe their context error while the
+// survivors drain through the gate one slot at a time — no slot is
+// leaked to a cancelled waiter and no survivor starves.
+func TestGateQueuedCancellation(t *testing.T) {
+	const (
+		waiters   = 10
+		cancelled = 5
+	)
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	cancels := make([]context.CancelFunc, waiters)
+	cancelledErrs := make(chan error, cancelled)
+	survivorErrs := make(chan error, waiters-cancelled)
+	for i := 0; i < waiters; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels[i] = cancel
+		ch := survivorErrs
+		if i < cancelled {
+			ch = cancelledErrs
+		}
+		go func(ctx context.Context, ch chan error) { ch <- g.Acquire(ctx) }(ctx, ch)
+	}
+	// The gate is full: give the waiters time to queue and check none
+	// sneaked through.
+	select {
+	case err := <-cancelledErrs:
+		t.Fatalf("waiter returned %v while the gate was full", err)
+	case err := <-survivorErrs:
+		t.Fatalf("waiter returned %v while the gate was full", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	for i := 0; i < cancelled; i++ {
+		cancels[i]()
+	}
+	for i := 0; i < cancelled; i++ {
+		select {
+		case err := <-cancelledErrs:
+			if err != context.Canceled {
+				t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled waiter did not observe cancellation while queued")
+		}
+	}
+	select {
+	case err := <-survivorErrs:
+		t.Fatalf("survivor returned %v before any slot was released", err)
+	default:
+	}
+
+	// Release the held slot and drain: each release admits exactly one
+	// surviving waiter, and no slot leaks to a cancelled one.
+	g.Release()
+	for n := 0; n < waiters-cancelled; n++ {
+		select {
+		case err := <-survivorErrs:
+			if err != nil {
+				t.Fatalf("surviving waiter returned %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no surviving waiter acquired after release %d", n)
+		}
+		if in := g.InFlight(); in != 1 {
+			t.Fatalf("InFlight() = %d with one admitted survivor, want 1", in)
+		}
+		g.Release()
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight() = %d after drain, want 0", g.InFlight())
+	}
+	for _, cancel := range cancels[cancelled:] {
+		cancel()
+	}
+}
+
 // TestGateDefaultsAndMisuse covers the default sizing and the
 // unmatched-release panic.
 func TestGateDefaultsAndMisuse(t *testing.T) {

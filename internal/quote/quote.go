@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"strconv"
@@ -176,6 +177,28 @@ func (r Request) Key() string {
 		"|h=" + g(r.HistoryWindowHours) +
 		"|z=" + strconv.Itoa(r.MaxZones) +
 		"|t=" + strconv.Itoa(r.Top)
+}
+
+// CacheKey is the canonical plan-cache key: the history digest joined
+// with the normalized request's Key. It is the single definition both
+// the service's LRU cache and any front-door router must share — a
+// router that partitions traffic on a different key silently halves
+// every backend cache.
+func CacheKey(digest string, r Request) string {
+	return digest + "|" + r.Key()
+}
+
+// AffinityKey hashes the normalized request's canonical Key with
+// FNV-64a. A cluster router uses it to pin identical quote requests to
+// one backend, so the backend's plan cache sees every repeat of a
+// request shape; because it is derived from the same canonical Key that
+// keys the cache, router affinity and cache identity agree by
+// construction. The history digest is deliberately excluded: the router
+// has no history, and all backends of one fleet serve the same feed.
+func (r Request) AffinityKey() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, r.Key())
+	return h.Sum64()
 }
 
 // Plan is one ranked (bid, zones, policy) permutation on the wire.

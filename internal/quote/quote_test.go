@@ -244,6 +244,46 @@ func (failingSource) History(context.Context, int64) (*trace.Set, string, error)
 	return nil, "", errors.New("feed down")
 }
 
+// TestCanonicalKeyPinned pins the canonical request key, the composed
+// plan-cache key and the FNV-64a affinity digest byte-for-byte. The
+// cluster router hashes AffinityKey to pick a backend and the backend
+// caches under CacheKey; this test is the contract that keeps the two
+// derived from the same canonical string, so affinity routing and
+// cache identity can never drift apart silently.
+func TestCanonicalKeyPinned(t *testing.T) {
+	req := testRequest()
+	req.Normalize()
+	const wantKey = "w=4|d=8|od=2.4|h=3|z=2|t=5"
+	if got := req.Key(); got != wantKey {
+		t.Fatalf("Key() = %q, want %q", got, wantKey)
+	}
+	const digest = "00112233445566aa"
+	if got, want := CacheKey(digest, req), digest+"|"+wantKey; got != want {
+		t.Fatalf("CacheKey() = %q, want %q", got, want)
+	}
+	if got := req.AffinityKey(); got != 0x5d46f7abd76e4777 {
+		t.Fatalf("AffinityKey() = %#016x, want 0x5d46f7abd76e4777", got)
+	}
+	// The affinity digest covers every response-shaping field: changing
+	// any one of them must move the hash.
+	muts := []func(*Request){
+		func(r *Request) { r.WorkHours = 5 },
+		func(r *Request) { r.DeadlineHours = 9 },
+		func(r *Request) { r.OnDemandPrice = 1.1 },
+		func(r *Request) { r.HistoryWindowHours = 4 },
+		func(r *Request) { r.MaxZones = 3 },
+		func(r *Request) { r.Top = 7 },
+	}
+	for i, mut := range muts {
+		other := testRequest()
+		other.Normalize()
+		mut(&other)
+		if other.AffinityKey() == req.AffinityKey() {
+			t.Errorf("mutation %d did not change AffinityKey", i)
+		}
+	}
+}
+
 // TestLRUCacheEviction checks capacity bounds and recency order.
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRU(2)

@@ -148,7 +148,7 @@ func (s *Service) Quote(ctx context.Context, req Request) ([]byte, CacheStatus, 
 	}
 	s.Breaker.Success()
 
-	key := digest + "|" + req.Key()
+	key := CacheKey(digest, req)
 	if body, ok := s.cache.get(key); ok {
 		s.Metrics.CacheHits.Add(1)
 		s.stale.add(req.Key(), body)

@@ -13,16 +13,27 @@
 # engine replacing per-permutation machine replays is the whole point,
 # so the script fails if it measures slower than the oracle.
 #
-# Usage: scripts/bench.sh [obs-output] [batch-output]
-#        (defaults BENCH_obs.json, BENCH_batch.json)
+# Finally the cluster simulator (quotelb -sim) sweeps the routing
+# policies across offered-load levels and writes the capacity curves
+# plus the quota and backend-kill scenarios to BENCH_cluster.json. The
+# simulator process itself enforces the fleet gates — affinity routing
+# must meet round-robin's cache-hit floor, quota exhaustion must yield
+# counted 429s, and a killed backend must eject without a
+# client-visible error — so a violated gate fails this script.
+#
+# Usage: scripts/bench.sh [obs-output] [batch-output] [cluster-output]
+#        (defaults BENCH_obs.json, BENCH_batch.json, BENCH_cluster.json)
 set -eu
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_obs.json}
 batchout=${2:-BENCH_batch.json}
+clusterout=${3:-BENCH_cluster.json}
 count=${BENCH_COUNT:-3}
 clients=${BENCH_CLIENTS:-50}
 duration=${BENCH_DURATION:-3s}
+sim_loads=${BENCH_SIM_LOADS:-300,1200,4800}
+sim_duration=${BENCH_SIM_DURATION:-2s}
 
 tmp=$(mktemp)
 self=$(mktemp)
@@ -51,12 +62,19 @@ awk -v self="$self" '
 	}
 }
 END {
-	# selfbench line: "  requests      N (R req/s), errors E"
-	reqs = ""; rate = ""; errs = ""
+	# selfbench lines:
+	#   "  requests      N (R req/s), errors E"
+	#   "  latency       p50 X.XXXms  p95 X.XXXms  p99 X.XXXms"
+	reqs = ""; rate = ""; errs = ""; p50 = ""; p99 = ""
 	while ((getline line < self) > 0) {
 		if (line ~ /requests/) {
 			split(line, f, /[ (),]+/)
 			reqs = f[3]; rate = f[4]; errs = f[7]
+		}
+		if (line ~ /latency/) {
+			split(line, f, /[ ]+/)
+			p50 = f[4]; p99 = f[8]
+			sub(/ms$/, "", p50); sub(/ms$/, "", p99)
 		}
 	}
 	printf "{\n  \"benchmarks\": [\n"
@@ -79,8 +97,9 @@ END {
 			base, best[base], best[obs], pct, (i < m ? "," : "")
 	}
 	printf "  ],\n"
-	printf "  \"selfbench\": {\"requests\": %s, \"req_per_sec\": %s, \"errors\": %s}\n", \
-		(reqs == "" ? 0 : reqs), (rate == "" ? 0 : rate), (errs == "" ? 0 : errs)
+	printf "  \"selfbench\": {\"requests\": %s, \"req_per_sec\": %s, \"errors\": %s, \"p50_ms\": %s, \"p99_ms\": %s}\n", \
+		(reqs == "" ? 0 : reqs), (rate == "" ? 0 : rate), (errs == "" ? 0 : errs), \
+		(p50 == "" ? 0 : p50), (p99 == "" ? 0 : p99)
 	printf "}\n"
 }
 ' "$tmp" >"$out"
@@ -122,3 +141,11 @@ END {
 ' "$tmp" >"$batchout"
 
 echo "bench: wrote $batchout" >&2
+
+# Cluster capacity curves: the simulator prints the report JSON on
+# stdout and exits non-zero if a fleet gate (affinity >= round-robin
+# cache hits, counted quota 429s, clean backend-kill ejection) fails.
+echo "bench: quotelb -sim -sim-loads $sim_loads -sim-duration $sim_duration" >&2
+go run ./cmd/quotelb -sim -sim-loads "$sim_loads" -sim-duration "$sim_duration" >"$clusterout"
+
+echo "bench: wrote $clusterout" >&2
