@@ -594,3 +594,97 @@ func BenchmarkMachineResetObs(b *testing.B) {
 		}
 	}
 }
+
+// streamBenchRows returns a row source cycling the ablation history, so
+// streaming benchmarks can tick indefinitely past the window's end.
+func streamBenchRows(hist *trace.Set) func(i int) []float64 {
+	n := hist.Series[0].Len()
+	return func(i int) []float64 {
+		return hist.PricesAt(hist.Start() + int64(i%n)*hist.Step())
+	}
+}
+
+// BenchmarkStreamTick times one steady-state streaming tick: append a
+// price row and incrementally re-rank the full (bid, zones, policy)
+// grid via the resident batch state — the O(delta) path that replaces
+// a from-scratch Rank per tick. scripts/bench.sh pairs it with
+// BenchmarkStreamFullRerank and gates on the speedup.
+func BenchmarkStreamTick(b *testing.B) {
+	cfg := ablationConfig(market.FixedDelay(300))
+	hist := cfg.History
+	se, err := core.NewStreamEvaluator(nil, core.StreamConfig{
+		Zones:           hist.Zones(),
+		Start:           hist.Start(),
+		Step:            hist.Step(),
+		Work:            cfg.Work,
+		Deadline:        cfg.Deadline,
+		CheckpointCost:  cfg.CheckpointCost,
+		RestartCost:     cfg.RestartCost,
+		MaxZones:        3,
+		CrossCheckEvery: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := streamBenchRows(hist)
+	n := hist.Series[0].Len()
+	for i := 0; i < n; i++ { // warm to the full window
+		if _, err := se.Advance(row(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := se.Advance(row(n + i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamFullRerank is the per-tick baseline the streaming
+// evaluator replaces: append the row to a tape and run a from-scratch
+// Evaluator.Rank over the whole window, with the same retention policy
+// (compact to half past the streaming default) so both benchmarks see
+// comparable window lengths.
+func BenchmarkStreamFullRerank(b *testing.B) {
+	cfg := ablationConfig(market.FixedDelay(300))
+	hist := cfg.History
+	ev := core.NewEvaluator()
+	tape, err := trace.NewTape(hist.Zones(), hist.Start(), hist.Step())
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := streamBenchRows(hist)
+	n := hist.Series[0].Len()
+	for i := 0; i < n; i++ {
+		if err := tape.Append(row(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	req := core.PlanRequest{
+		Work:           cfg.Work,
+		Deadline:       cfg.Deadline,
+		CheckpointCost: cfg.CheckpointCost,
+		RestartCost:    cfg.RestartCost,
+		MaxZones:       3,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tape.Append(row(n + i)); err != nil {
+			b.Fatal(err)
+		}
+		if tape.Len() > core.DefaultStreamRetention {
+			tape = tape.Tail(core.DefaultStreamRetention / 2)
+		}
+		req.History = tape.Set()
+		plans, err := ev.Rank(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(plans) == 0 {
+			b.Fatal("no plans")
+		}
+	}
+}

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"flag"
@@ -33,6 +34,7 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -65,6 +67,8 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", quote.DefaultBreakerCooldown, "open-breaker period before a half-open probe")
 	selfbench := flag.Int("selfbench", 0, "run the load generator with this many concurrent clients instead of serving")
 	benchDur := flag.Duration("bench-duration", 5*time.Second, "load generator run time")
+	stream := flag.Bool("stream", false, "serve GET /v1/quotes/stream, feeding the streamer by replaying the synthetic preset as a live tick feed (with -selfbench: run the subscriber load generator instead)")
+	streamRate := flag.Float64("stream-rate", 8, "replayed feed ticks per second in -stream mode")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceSpans := flag.Int("trace-spans", 0, "trace request/evaluation spans into a ring of this size, served at /debug/trace (0: disabled)")
 	flag.Parse()
@@ -75,6 +79,7 @@ func main() {
 	}
 
 	metrics := quote.NewMetrics()
+	var presetSet *trace.Set
 	var source quote.HistorySource
 	if *feed != "" {
 		// Share the service's metrics sink so feed degradation (stale
@@ -94,6 +99,7 @@ func main() {
 		default:
 			log.Fatalf("unknown preset %q", *preset)
 		}
+		presetSet = set
 		source = &quote.StaticSource{Set: set}
 	}
 
@@ -105,16 +111,40 @@ func main() {
 		Metrics:   metrics,
 		Breaker:   &quote.Breaker{Threshold: *breakerFails, Cooldown: *breakerCooldown},
 	}
+	// Streaming mode: mount the push API and replay the synthetic
+	// preset as a live tick feed. (A live -feed endpoint has no tick
+	// stream to subscribe to; it stays one-shot only.)
+	var streamer *quote.Streamer
+	var streamMetrics *quote.StreamMetrics
+	if *stream {
+		if presetSet == nil {
+			log.Fatal("-stream needs a synthetic -preset feed; -feed is one-shot only")
+		}
+		streamMetrics = metrics.AttachStream()
+		streamer = &quote.Streamer{
+			Eval:    svc.Eval,
+			Metrics: streamMetrics,
+			Zones:   presetSet.Zones(),
+			Start:   presetSet.Start(),
+			Step:    presetSet.Step(),
+		}
+	}
 	// The API handler is wrapped with request tracing; the debug surface
 	// (/debug/trace, /debug/pprof/) mounts beside it, outside the traced
 	// path.
 	mux := http.NewServeMux()
-	mux.Handle("/", httpx.Wrap(quote.NewHandler(svc), tracer))
+	mux.Handle("/", httpx.Wrap(quote.NewStreamingHandler(svc, streamer), tracer))
 	obs.Mount(mux, tracer, *pprofOn)
 	handler := http.Handler(mux)
 
 	if *selfbench > 0 {
-		if err := runSelfbench(svc, handler, *selfbench, *benchDur); err != nil {
+		var err error
+		if *stream {
+			err = runStreamBench(streamer, streamMetrics, handler, presetSet, *selfbench, *benchDur, *streamRate)
+		} else {
+			err = runSelfbench(svc, handler, *selfbench, *benchDur)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -122,10 +152,40 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if streamer != nil {
+		go replayFeed(ctx, streamer, presetSet, *streamRate)
+		log.Printf("streaming plans at http://%s/v1/quotes/stream (%.3g ticks/s)", *addr, *streamRate)
+	}
 	srv := httpx.NewServer(*addr, handler)
 	log.Printf("serving plans at http://%s/v1/quote (metrics at /metrics)", *addr)
 	if err := httpx.ListenAndServe(ctx, srv, httpx.DefaultGrace); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// replayFeed drives the streamer with the preset trace as if it were a
+// live feed: one row per tick at rate ticks/second, cycling when the
+// trace runs out. Sequence numbers are the feed's own, so the
+// streamer's dedup/gap handling is exercised identically to a real
+// feed.
+func replayFeed(ctx context.Context, st *quote.Streamer, set *trace.Set, rate float64) {
+	if rate <= 0 {
+		rate = 8
+	}
+	t := time.NewTicker(time.Duration(float64(time.Second) / rate))
+	defer t.Stop()
+	n := set.Series[0].Len()
+	for seq := uint64(1); ; seq++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		i := int((seq - 1) % uint64(n))
+		if err := st.Ingest(seq, set.PricesAt(set.Start()+int64(i)*set.Step())); err != nil {
+			log.Printf("stream feed: %v", err)
+			return
+		}
 	}
 }
 
@@ -210,6 +270,99 @@ func runSelfbench(svc *quote.Service, handler http.Handler, clients int, dur tim
 		m.CacheHits.Load(), m.CacheMisses.Load(), m.Coalesced.Load())
 	if errs.Load() > 0 {
 		return fmt.Errorf("selfbench: %d failed requests", errs.Load())
+	}
+	return nil
+}
+
+// streamBenchShapes is the subscription mix the streaming load
+// generator spreads its subscribers across: a handful of distinct
+// shapes, so fan-out within a shape and multiple resident evaluators
+// are both exercised.
+func streamBenchShapes() []string {
+	var out []string
+	for _, work := range []float64{4, 8, 12, 16} {
+		out = append(out, fmt.Sprintf("work_hours=%g&deadline_hours=%g&max_zones=2&top=3", work, 3*work))
+	}
+	return out
+}
+
+// runStreamBench boots the streaming service on an ephemeral listener,
+// attaches subscribers SSE clients, replays the preset feed at rate
+// ticks/second for dur, and prints the tick/publish pipeline's
+// throughput and plan-push latency quantiles (publish to client
+// write), measured by the same histogram /metrics exports.
+func runStreamBench(st *quote.Streamer, sm *quote.StreamMetrics, handler http.Handler, set *trace.Set, subscribers int, dur time.Duration, rate float64) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := httpx.NewServer("", handler)
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- httpx.Serve(ctx, srv, ln, httpx.DefaultGrace) }()
+	base := "http://" + ln.Addr().String()
+
+	clientCtx, stopClients := context.WithCancel(ctx)
+	shapes := streamBenchShapes()
+	transport := &http.Transport{MaxIdleConns: subscribers, MaxIdleConnsPerHost: subscribers}
+	client := &http.Client{Transport: transport}
+	var (
+		events atomic.Int64
+		errs   atomic.Int64
+		wg     sync.WaitGroup
+	)
+	wg.Add(subscribers)
+	for c := 0; c < subscribers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			url := base + "/v1/quotes/stream?" + shapes[c%len(shapes)]
+			req, err := http.NewRequestWithContext(clientCtx, http.MethodGet, url, nil)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs.Add(1)
+				return
+			}
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				if strings.HasPrefix(sc.Text(), "event: plan") {
+					events.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// Feed ticks for the benchmark window, then stop the clients.
+	feedCtx, stopFeed := context.WithTimeout(ctx, dur)
+	replayFeed(feedCtx, st, set, rate)
+	stopFeed()
+	time.Sleep(100 * time.Millisecond) // let the last pushes drain
+	stopClients()
+	wg.Wait()
+	cancel()
+	if err := <-serveDone; err != nil {
+		return err
+	}
+
+	ticks := st.Metrics.Ticks.Load()
+	gens := st.Metrics.Generations.Load()
+	fmt.Printf("streambench: %d subscribers × %s @ %.3g ticks/s\n", subscribers, dur, rate)
+	fmt.Printf("  feed          %d ticks (%.1f/s), %d plan generations\n",
+		ticks, float64(ticks)/dur.Seconds(), gens)
+	fmt.Printf("  pushes        %d plan events delivered (%.1f/subscriber), errors %d\n",
+		events.Load(), float64(events.Load())/float64(subscribers), errs.Load())
+	fmt.Printf("  push latency  p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
+		sm.PushLatencyQuantile(0.50)*1e3, sm.PushLatencyQuantile(0.95)*1e3, sm.PushLatencyQuantile(0.99)*1e3)
+	if errs.Load() > 0 {
+		return fmt.Errorf("streambench: %d failed subscriptions", errs.Load())
 	}
 	return nil
 }

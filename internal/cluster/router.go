@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strconv"
@@ -73,9 +74,11 @@ func (r *Router) Available() int {
 
 // Handler returns the front door's HTTP surface:
 //
-//	POST /v1/quote   — routed to a backend (X-Backend names which)
-//	GET  /healthz    — 200 while ≥1 backend is routable, else 503
-//	GET  /metrics    — router counters and latency quantiles (text)
+//	POST /v1/quote           — routed to a backend (X-Backend names which)
+//	GET  /v1/quotes/stream   — streaming plan pushes, failover at
+//	                           response-header time, frames flushed through
+//	GET  /healthz            — 200 while ≥1 backend is routable, else 503
+//	GET  /metrics            — router counters and latency quantiles (text)
 //
 // Everything else is 404: the router deliberately exposes no backend
 // debug surface.
@@ -83,6 +86,7 @@ func (r *Router) Handler() http.Handler {
 	r.init()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/quote", r.route)
+	mux.HandleFunc("GET /v1/quotes/stream", r.routeStream)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		avail := r.Available()
@@ -195,6 +199,161 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request) {
 	m.Unroutable.Inc()
 	writeError(w, http.StatusServiceUnavailable,
 		fmt.Errorf("no backend available (%d/%d routable, %d attempts)", r.Available(), len(r.Backends), attempts))
+}
+
+// routeStream is the streaming request path. A stream cannot ride the
+// buffered-failover capture — frames must reach the client while the
+// backend still holds the connection — so the failover point moves to
+// response-header time: a backend answering 5xx is discarded (its body
+// swallowed) and the next backend in the order gets the stream; once a
+// 2xx header commits, every subsequent frame is written through and
+// flushed immediately, headers (X-Quote-Stale, X-Plan-Generation)
+// intact.
+func (r *Router) routeStream(w http.ResponseWriter, req *http.Request) {
+	m := r.Metrics
+	m.Requests.Inc()
+
+	tenant := req.Header.Get("X-Tenant")
+	if r.Limiter != nil && !r.Limiter.Allow(tenant) {
+		m.QuotaRejected.Inc()
+		if tenant == "" {
+			tenant = "default"
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf("quota exhausted for tenant %q", tenant))
+		return
+	}
+
+	span := obs.FromContext(req.Context())
+	span.SetAttr("policy", r.Policy.Name())
+
+	order := make([]int, len(r.Backends))
+	r.Policy.Order(streamAffinity(req.URL.RawQuery), r.Backends, order)
+	maxAttempts := r.MaxAttempts
+	if maxAttempts <= 0 || maxAttempts > len(order) {
+		maxAttempts = len(order)
+	}
+
+	attempts := 0
+	for _, idx := range order {
+		if attempts >= maxAttempts {
+			break
+		}
+		b := r.Backends[idx]
+		allowed, probe := b.Breaker.Allow()
+		if !allowed {
+			continue
+		}
+		if probe {
+			m.Probes.Inc()
+		}
+		attempts++
+		if attempts > 1 {
+			m.Failovers.Inc()
+		}
+
+		sc := &streamCapture{w: w, backend: b.Name, header: make(http.Header)}
+		b.inflight.Add(1)
+		b.Handler.ServeHTTP(sc, req)
+		b.inflight.Add(-1)
+		if sc.failed {
+			b.failures.Inc()
+			if b.Breaker.Failure() {
+				m.Ejections.Inc()
+			}
+			continue // nothing reached the client: next backend
+		}
+		b.Breaker.Success()
+		if probe {
+			m.Readmissions.Inc()
+		}
+		b.served.Inc()
+		m.Routed.Inc()
+		span.SetAttr("backend", b.Name)
+		if attempts > 1 {
+			span.SetAttr("failovers", strconv.Itoa(attempts-1))
+		}
+		sc.commit() // a handler that wrote nothing still owes a header
+		return
+	}
+	m.Unroutable.Inc()
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("no backend available (%d/%d routable, %d attempts)", r.Available(), len(r.Backends), attempts))
+}
+
+// streamAffinity hashes a stream's query string (FNV-64a) so affinity
+// policies pin a subscription shape to a backend, mirroring
+// quote.Request.AffinityKey for the one-shot path.
+func streamAffinity(rawQuery string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, rawQuery)
+	return h.Sum64()
+}
+
+// streamCapture is the streaming analogue of capture: it buffers only
+// the response *header*. A 5xx commits nothing (the attempt can fail
+// over); anything else writes the header through — with the backend's
+// headers copied verbatim — and turns every subsequent Write into an
+// immediately flushed client write.
+type streamCapture struct {
+	w       http.ResponseWriter
+	backend string
+	header  http.Header
+	code    int
+	failed  bool
+}
+
+// Header implements http.ResponseWriter.
+func (c *streamCapture) Header() http.Header { return c.header }
+
+// WriteHeader implements http.ResponseWriter: the failover decision
+// point.
+func (c *streamCapture) WriteHeader(code int) {
+	if c.code != 0 {
+		return
+	}
+	c.code = code
+	if code >= http.StatusInternalServerError {
+		c.failed = true
+		return
+	}
+	h := c.w.Header()
+	for k, vs := range c.header {
+		h[k] = vs
+	}
+	h.Set("X-Backend", c.backend)
+	c.w.WriteHeader(code)
+}
+
+// commit defaults an untouched response to 200 once the attempt is
+// accepted.
+func (c *streamCapture) commit() {
+	if c.code == 0 {
+		c.WriteHeader(http.StatusOK)
+	}
+}
+
+// Write implements http.ResponseWriter, flushing each frame through.
+func (c *streamCapture) Write(p []byte) (int, error) {
+	if c.code == 0 {
+		c.WriteHeader(http.StatusOK)
+	}
+	if c.failed {
+		return len(p), nil // swallow the failed attempt's error body
+	}
+	n, err := c.w.Write(p)
+	c.Flush()
+	return n, err
+}
+
+// Flush implements http.Flusher so backends detect streaming support.
+func (c *streamCapture) Flush() {
+	if c.code == 0 || c.failed {
+		return
+	}
+	if fl, ok := c.w.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 // forward replays the buffered request body against one backend and

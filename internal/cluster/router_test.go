@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -317,5 +318,140 @@ func TestRouterConcurrent(t *testing.T) {
 		if got := r.Stats().Routed.Load(); got != 400 {
 			t.Fatalf("%s: routed = %d, want 400", p.Name(), got)
 		}
+	}
+}
+
+// TestRouterFailoverHeaderFidelity pins the wire contract across the
+// buffered failover: every quote header the winning backend sets —
+// cache status, staleness, plan generation — reaches the client
+// verbatim, with nothing leaked from the failed attempt.
+func TestRouterFailoverHeaderFidelity(t *testing.T) {
+	cases := []struct {
+		name    string
+		headers map[string]string
+	}{
+		{"cache hit", map[string]string{"X-Quote-Cache": "hit"}},
+		{"stale degraded", map[string]string{"X-Quote-Cache": "stale", "X-Quote-Stale": "true"}},
+		{"streamed generation", map[string]string{"X-Plan-Generation": "42", "X-Quote-Cache": "miss"}},
+		{"stale stream", map[string]string{"X-Plan-Generation": "7", "X-Quote-Stale": "true"}},
+	}
+	for _, tc := range cases {
+		dead := NewBackend("b0", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			// The corpse sets headers too; none of them may leak.
+			w.Header().Set("X-Quote-Stale", "false")
+			w.Header().Set("X-Plan-Generation", "999")
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}))
+		live := NewBackend("b1", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			for k, v := range tc.headers {
+				w.Header().Set(k, v)
+			}
+			w.Write([]byte(`{"plans":[]}`))
+		}))
+		r := &Router{Backends: []*Backend{dead, live}, Policy: NewRoundRobin()}
+		rec := postQuote(r.Handler(), validBody, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", tc.name, rec.Code)
+		}
+		for k, v := range tc.headers {
+			if got := rec.Header().Get(k); got != v {
+				t.Errorf("%s: header %s = %q, want %q", tc.name, k, got, v)
+			}
+		}
+		for k, v := range map[string]string{"X-Backend": "b1"} {
+			if got := rec.Header().Get(k); got != v {
+				t.Errorf("%s: header %s = %q, want %q", tc.name, k, got, v)
+			}
+		}
+		if tc.headers["X-Quote-Stale"] == "" && rec.Header().Get("X-Quote-Stale") != "" {
+			t.Errorf("%s: X-Quote-Stale %q leaked from the failed attempt", tc.name, rec.Header().Get("X-Quote-Stale"))
+		}
+		if want, got := tc.headers["X-Plan-Generation"], rec.Header().Get("X-Plan-Generation"); want == "" && got != "" {
+			t.Errorf("%s: X-Plan-Generation %q leaked from the failed attempt", tc.name, got)
+		}
+		if rec.Body.String() != `{"plans":[]}` {
+			t.Errorf("%s: body %q polluted by failed attempt", tc.name, rec.Body.String())
+		}
+	}
+}
+
+// TestRouterStreamFailover drives the streaming route over a real
+// connection: the first backend dies with a 5xx (its error body must
+// be swallowed), the stream fails over at header time, and frames then
+// flush through incrementally while the winning backend still holds
+// the connection open.
+func TestRouterStreamFailover(t *testing.T) {
+	release := make(chan struct{})
+	dead := NewBackend("b0", failingBackend())
+	live := NewBackend("b1", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("work_hours") != "4" {
+			t.Errorf("query lost in stream forward: %q", r.URL.RawQuery)
+		}
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("X-Plan-Generation", "3")
+		h.Set("X-Quote-Stale", "true")
+		io.WriteString(w, "event: plan\ndata: {\"generation\":3}\n\n")
+		w.(http.Flusher).Flush()
+		<-release
+		io.WriteString(w, "event: plan\ndata: {\"generation\":4}\n\n")
+	}))
+	r := &Router{Backends: []*Backend{dead, live}, Policy: NewRoundRobin()}
+	front := httptest.NewServer(r.Handler())
+	defer front.Close()
+	defer close(release)
+
+	resp, err := http.Get(front.URL + "/v1/quotes/stream?work_hours=4&deadline_hours=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want failover to 200", resp.StatusCode)
+	}
+	for k, v := range map[string]string{
+		"X-Backend":         "b1",
+		"X-Plan-Generation": "3",
+		"X-Quote-Stale":     "true",
+		"Content-Type":      "text/event-stream",
+	} {
+		if got := resp.Header.Get(k); got != v {
+			t.Errorf("header %s = %q, want %q", k, got, v)
+		}
+	}
+
+	br := bufio.NewReader(resp.Body)
+	readUntil := func(substr string) string {
+		var sb strings.Builder
+		deadline := time.Now().Add(10 * time.Second)
+		for !strings.Contains(sb.String(), substr) {
+			if time.Now().After(deadline) {
+				t.Fatalf("frame %q never arrived; got %q", substr, sb.String())
+			}
+			b, err := br.ReadByte()
+			if err != nil {
+				t.Fatalf("stream ended before %q: %v (got %q)", substr, err, sb.String())
+			}
+			sb.WriteByte(b)
+		}
+		return sb.String()
+	}
+	// First frame must arrive while b1 is blocked on release — proof the
+	// router is not buffering the stream for failover.
+	first := readUntil(`{"generation":3}`)
+	if strings.Contains(first, "boom") {
+		t.Fatalf("failed attempt's body leaked into the stream: %q", first)
+	}
+	release <- struct{}{}
+	readUntil(`{"generation":4}`)
+
+	if got := dead.Failures(); got != 1 {
+		t.Errorf("dead backend failures = %d, want 1", got)
+	}
+	if got := r.Stats().Failovers.Load(); got != 1 {
+		t.Errorf("failovers = %d, want 1", got)
+	}
+	if got := r.Stats().Routed.Load(); got != 1 {
+		t.Errorf("routed = %d, want 1", got)
 	}
 }

@@ -145,6 +145,17 @@ func (mc *memoCol) arm(n int) {
 	}
 }
 
+// grow extends the column to n entries without invalidating the set
+// ones — the streaming evaluator's per-tick window growth. Appended
+// entries carry stamp 0, which arm keeps distinct from every live
+// generation, so they read as unset.
+func (mc *memoCol) grow(n int) {
+	for len(mc.vals) < n {
+		mc.vals = append(mc.vals, 0)
+		mc.ver = append(mc.ver, 0)
+	}
+}
+
 // get returns the entry and whether it is set.
 func (mc *memoCol) get(i int) (float64, bool) {
 	if mc.ver[i] == mc.gen {
@@ -447,6 +458,77 @@ func (b *batchState) addPerm(out int, spec sim.RunSpec) bool {
 // Machine.Reset + the Step loop + FinishEstimation for an estimation
 // configuration, in the exact order the oracle executes them.
 func (b *batchState) runPerm(p *batchPerm) {
+	b.replayPerm(p)
+	zs := b.zoneBuf[p.zoff : p.zoff+p.nz]
+	bill := b.billBuf[p.boff : p.boff+p.nz]
+
+	// FinishEstimation: close every running meter user-side at the end
+	// of the trace, in zone index order.
+	for _, bk := range bill {
+		z := &zs[bk]
+		if z.state != sim.Up {
+			continue
+		}
+		for b.end >= z.hourStart+trace.Hour {
+			p.cost += z.hourRate
+			z.hourStart += trace.Hour
+			z.hourRate = z.col[b.cols.Index(z.hourStart)]
+		}
+		if b.end != z.hourStart {
+			p.cost += z.hourRate // started hour charged in full
+		}
+		z.state = sim.Down
+	}
+	maxP := p.committed
+	for k := range zs {
+		if zs[k].progress > maxP {
+			maxP = zs[k].progress
+		}
+	}
+	p.maxProgress = maxP
+}
+
+// closeEstimate computes the permutation's estimate exactly as runPerm's
+// FinishEstimation close would — completed hours committed then the
+// started hour charged in full, zones in index order — but on local
+// copies, leaving the resident replay state untouched. The streaming
+// evaluator reads per-tick estimates through it and keeps stepping the
+// same permutation on the next tick.
+func (b *batchState) closeEstimate(p *batchPerm, span float64) estimate {
+	zs := b.zoneBuf[p.zoff : p.zoff+p.nz]
+	bill := b.billBuf[p.boff : p.boff+p.nz]
+	cost := p.cost
+	for _, bk := range bill {
+		z := &zs[bk]
+		if z.state != sim.Up {
+			continue
+		}
+		hs, hr := z.hourStart, z.hourRate
+		for b.end >= hs+trace.Hour {
+			cost += hr
+			hs += trace.Hour
+			hr = z.col[b.cols.Index(hs)]
+		}
+		if b.end != hs {
+			cost += hr // started hour charged in full
+		}
+	}
+	maxP := p.committed
+	for k := range zs {
+		if zs[k].progress > maxP {
+			maxP = zs[k].progress
+		}
+	}
+	return estimate{progressRate: float64(maxP) / span, costRate: cost / span}
+}
+
+// replayPerm initializes one permutation's state and replays it over
+// the whole window, leaving the resident state live at the window end
+// (meters open, availability-derived states current as of the last
+// step). runPerm layers the destructive estimation close on top; the
+// streaming evaluator instead keeps stepping the state tick by tick and
+// reads estimates through closeEstimate.
+func (b *batchState) replayPerm(p *batchPerm) {
 	zs := b.zoneBuf[p.zoff : p.zoff+p.nz]
 	bill := b.billBuf[p.boff : p.boff+p.nz]
 
@@ -490,31 +572,6 @@ func (b *batchState) runPerm(p *batchPerm) {
 			now = b.start + int64(i)*b.step
 		}
 	}
-
-	// FinishEstimation: close every running meter user-side at the end
-	// of the trace, in zone index order.
-	for _, bk := range bill {
-		z := &zs[bk]
-		if z.state != sim.Up {
-			continue
-		}
-		for b.end >= z.hourStart+trace.Hour {
-			p.cost += z.hourRate
-			z.hourStart += trace.Hour
-			z.hourRate = z.col[b.cols.Index(z.hourStart)]
-		}
-		if b.end != z.hourStart {
-			p.cost += z.hourRate // started hour charged in full
-		}
-		z.state = sim.Down
-	}
-	maxP := p.committed
-	for k := range zs {
-		if zs[k].progress > maxP {
-			maxP = zs[k].progress
-		}
-	}
-	p.maxProgress = maxP
 }
 
 // horizon returns the first step at or after i where the permutation's

@@ -130,68 +130,73 @@ func predictFinish(e estimate, cr, tr, migration int64) int64 {
 	return tr
 }
 
-// Rank scores every (bid, zone set, policy) permutation of the request
-// by replaying it over the history window — the Adaptive strategy's
-// §7 permutation search exposed as a standalone planning service — and
-// returns all plans ordered best-first: ascending predicted cost, with
-// ties broken toward bid headroom (higher bid), then fewer zones, then
-// policy name. Markov-Daly candidates share one predictor cache, so
-// identical chains are fitted once. The result depends only on the
-// request (fixed estimation seed, order-preserving fan-out), so
-// identical requests yield identical plans regardless of worker count.
-func (ev *Evaluator) Rank(req PlanRequest) ([]Plan, error) {
-	rsp := ev.Trace.Start("eval.rank")
-	defer rsp.End()
-	if err := req.validate(); err != nil {
-		return nil, err
-	}
-	hist := req.History
-	odRate := req.OnDemandRate
+// resolveRank resolves the request's defaulted knobs against its
+// history: the on-demand rate, the bid grid, the (zone-clamped)
+// redundancy bound and the candidate families.
+func resolveRank(req *PlanRequest) (odRate float64, bids []float64, maxZones int, cands []PolicyFactory) {
+	odRate = req.OnDemandRate
 	if odRate == 0 {
 		odRate = market.OnDemandRate
 	}
-	bids := req.Bids
+	bids = req.Bids
 	if bids == nil {
 		bids = BidGrid()
 	}
-	maxZones := req.MaxZones
+	maxZones = req.MaxZones
 	if maxZones <= 0 {
 		maxZones = 3
 	}
-	if nz := hist.NumZones(); maxZones > nz {
+	if nz := req.History.NumZones(); maxZones > nz {
 		maxZones = nz
 	}
-	cands := req.Candidates
+	cands = req.Candidates
 	if cands == nil {
 		cands = DefaultAdaptiveCandidates()
 	}
+	return odRate, bids, maxZones, cands
+}
 
+// rankSlot is one (policy, zone set, bid) cell of a ranking sweep's
+// permutation grid. fac indexes the candidate list the grid was built
+// from; zone sets are shared (not copied) across the bids of one
+// redundancy degree.
+type rankSlot struct {
+	kind  string
+	fac   int
+	bid   float64
+	zones []int
+}
+
+// rankSlots enumerates the permutation grid over the history's current
+// cheapest-last-price zone ordering, in Rank's exact slot order
+// (candidate-major, then redundancy degree, then bid). The streaming
+// evaluator re-derives this grid every tick: the ordering — and with it
+// the zone sets — can change whenever prices move.
+func rankSlots(hist *trace.Set, bids []float64, maxZones int, cands []PolicyFactory) []rankSlot {
 	ordered := zonesByHistPrice(hist)
-	names := hist.Zones()
-	migration := req.CheckpointCost + req.RestartCost + hist.Step()
-	cache := NewPredictorCache()
-
-	type slot struct {
-		kind  string
-		bid   float64
-		zones []int
-	}
-	var slots []slot
-	var specs []sim.RunSpec
-	for _, fac := range cands {
+	slots := make([]rankSlot, 0, len(cands)*maxZones*len(bids))
+	for fi := range cands {
 		for n := 1; n <= maxZones; n++ {
 			zs := append([]int(nil), ordered[:n]...)
 			sort.Ints(zs)
 			for _, bid := range bids {
-				slots = append(slots, slot{kind: fac.Kind, bid: bid, zones: zs})
-				specs = append(specs, sim.RunSpec{Bid: bid, Zones: zs, Policy: withSharedCache(fac.New(), cache)})
+				slots = append(slots, rankSlot{kind: cands[fi].Kind, fac: fi, bid: bid, zones: zs})
 			}
 		}
 	}
-	ests := ev.MeasureAll(hist, specs, req.CheckpointCost, req.RestartCost)
+	return slots
+}
 
+// scorePlans converts per-slot estimates into the ranked plan table:
+// Inequality (1) cost prediction and schedule split per slot, then the
+// stable best-first order (ascending predicted cost, ties toward bid
+// headroom, then fewer zones, then policy name).
+func scorePlans(req *PlanRequest, odRate float64, slots []rankSlot, ests []estimate) []Plan {
+	names := req.History.Zones()
+	migration := req.CheckpointCost + req.RestartCost + req.History.Step()
 	plans := make([]Plan, len(slots))
-	for i, sl := range slots {
+	for i := range slots {
+		sl := &slots[i]
 		e := ests[i]
 		zoneNames := make([]string, len(sl.zones))
 		for j, zi := range sl.zones {
@@ -222,5 +227,32 @@ func (ev *Evaluator) Rank(req PlanRequest) ([]Plan, error) {
 		}
 		return a.Policy < b.Policy
 	})
-	return plans, nil
+	return plans
+}
+
+// Rank scores every (bid, zone set, policy) permutation of the request
+// by replaying it over the history window — the Adaptive strategy's
+// §7 permutation search exposed as a standalone planning service — and
+// returns all plans ordered best-first: ascending predicted cost, with
+// ties broken toward bid headroom (higher bid), then fewer zones, then
+// policy name. Markov-Daly candidates share one predictor cache, so
+// identical chains are fitted once. The result depends only on the
+// request (fixed estimation seed, order-preserving fan-out), so
+// identical requests yield identical plans regardless of worker count.
+func (ev *Evaluator) Rank(req PlanRequest) ([]Plan, error) {
+	rsp := ev.Trace.Start("eval.rank")
+	defer rsp.End()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	odRate, bids, maxZones, cands := resolveRank(&req)
+	slots := rankSlots(req.History, bids, maxZones, cands)
+	cache := NewPredictorCache()
+	specs := make([]sim.RunSpec, len(slots))
+	for i := range slots {
+		sl := &slots[i]
+		specs[i] = sim.RunSpec{Bid: sl.bid, Zones: sl.zones, Policy: withSharedCache(cands[sl.fac].New(), cache)}
+	}
+	ests := ev.MeasureAll(req.History, specs, req.CheckpointCost, req.RestartCost)
+	return scorePlans(&req, odRate, slots, ests), nil
 }

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// prefixSet returns the first n samples of the set as a standalone
+// aligned window — the from-scratch reference for what a streaming
+// evaluator has seen after n ticks.
+func prefixSet(set *trace.Set, n int) *trace.Set {
+	series := make([]*trace.Series, set.NumZones())
+	for z := range series {
+		s := set.Series[z]
+		series[z] = &trace.Series{Zone: s.Zone, Epoch: set.Start(), Step: set.Step(), Prices: s.Prices[:n]}
+	}
+	return &trace.Set{Series: series}
+}
+
+// streamConfigFor builds the streaming shape of the test's fixed
+// planning question over a regime window.
+func streamConfigFor(set *trace.Set) StreamConfig {
+	return StreamConfig{
+		Zones:          set.Zones(),
+		Start:          set.Start(),
+		Step:           set.Step(),
+		Work:           6 * trace.Hour,
+		Deadline:       18 * trace.Hour,
+		CheckpointCost: 300,
+		RestartCost:    300,
+	}
+}
+
+// TestStreamMatchesRankOnPaperTraces is the tentpole's differential
+// contract: feeding a paper-regime window tick by tick, after every
+// tick the incrementally maintained table is bit-identical to
+// Evaluator.Rank run from scratch over the same prefix — same floats,
+// same order, not just close ones.
+func TestStreamMatchesRankOnPaperTraces(t *testing.T) {
+	ref := &Evaluator{Workers: 1}
+	for _, name := range []string{"low/day1", "high/day3", "megaspike/day5", "moderate/day1"} {
+		set := paperRegimes()[name]
+		if set == nil {
+			t.Fatalf("missing regime %s", name)
+		}
+		cfg := streamConfigFor(set)
+		cfg.CrossCheckEvery = -1 // this test IS the cross-check
+		se, err := NewStreamEvaluator(nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := set.Series[0].Len()
+		lastGen := uint64(0)
+		for i := 0; i < n; i++ {
+			upd, err := se.Advance(set.PricesAt(set.Start() + int64(i)*set.Step()))
+			if err != nil {
+				t.Fatalf("%s tick %d: %v", name, i, err)
+			}
+			if upd.Generation < lastGen || (upd.Changed && upd.Generation != lastGen+1) {
+				t.Fatalf("%s tick %d: generation %d after %d (changed=%v)", name, i, upd.Generation, lastGen, upd.Changed)
+			}
+			lastGen = upd.Generation
+			req := se.request(prefixSet(set, i+1))
+			want, err := ref.Rank(req)
+			if err != nil {
+				t.Fatalf("%s tick %d: rank: %v", name, i, err)
+			}
+			if !plansEqual(upd.Plans, want) {
+				t.Fatalf("%s tick %d: incremental table diverges from from-scratch Rank\nstream %v\nrank   %v",
+					name, i, upd.Plans[:3], want[:3])
+			}
+		}
+		st := se.Stats()
+		if st.Fallback {
+			t.Fatalf("%s: unexpected fallback", name)
+		}
+		if st.Rebuilds != 1 {
+			t.Errorf("%s: %d rebuilds, want exactly the initial one", name, st.Rebuilds)
+		}
+		if st.Ticks != uint64(n) || se.Steps() != n {
+			t.Errorf("%s: ticks %d steps %d, want %d", name, st.Ticks, se.Steps(), n)
+		}
+	}
+}
+
+// TestStreamCrossCheckClean pins the runtime cross-check itself: at a
+// dense cadence over a volatile regime it must never observe a
+// divergence between the incremental table and the from-scratch one.
+func TestStreamCrossCheckClean(t *testing.T) {
+	set := paperRegimes()["high/day1"]
+	cfg := streamConfigFor(set)
+	cfg.CrossCheckEvery = 7
+	se, err := NewStreamEvaluator(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := set.Series[0].Len()
+	for i := 0; i < n; i++ {
+		if _, err := se.Advance(set.PricesAt(set.Start() + int64(i)*set.Step())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := se.Stats()
+	if st.CrossChecks == 0 {
+		t.Fatal("cross-check never ran")
+	}
+	if st.CrossCheckMismatches != 0 {
+		t.Fatalf("%d cross-check mismatches over %d checks", st.CrossCheckMismatches, st.CrossChecks)
+	}
+}
+
+// TestStreamCompaction pins the retention bound: past MaxSteps the
+// window compacts to its trailing half, the resident state rebuilds,
+// and the table keeps matching Rank over the compacted window.
+func TestStreamCompaction(t *testing.T) {
+	set := paperRegimes()["moderate/day3"]
+	cfg := streamConfigFor(set)
+	cfg.CrossCheckEvery = -1
+	cfg.MaxSteps = 48
+	se, err := NewStreamEvaluator(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &Evaluator{Workers: 1}
+	// Shadow tape mirroring the evaluator's compaction rule, as the
+	// from-scratch reference window.
+	shadow, err := trace.NewTape(cfg.Zones, cfg.Start, cfg.Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := set.Series[0].Len()
+	if n > 120 {
+		n = 120
+	}
+	for i := 0; i < n; i++ {
+		row := set.PricesAt(set.Start() + int64(i)*set.Step())
+		upd, err := se.Advance(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := shadow.Append(row); err != nil {
+			t.Fatal(err)
+		}
+		if shadow.Len() > cfg.MaxSteps {
+			shadow = shadow.Tail(cfg.MaxSteps / 2)
+		}
+		if se.Steps() != shadow.Len() {
+			t.Fatalf("tick %d: window %d, want %d", i, se.Steps(), shadow.Len())
+		}
+		req := se.request(shadow.Set())
+		want, err := ref.Rank(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansEqual(upd.Plans, want) {
+			t.Fatalf("tick %d: table diverges from Rank over the compacted window", i)
+		}
+	}
+	st := se.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("no compaction over a 120-tick feed with MaxSteps=48")
+	}
+	if st.Rebuilds != st.Compactions+1 {
+		t.Errorf("rebuilds %d, want one per compaction plus the initial (%d)", st.Rebuilds, st.Compactions+1)
+	}
+}
+
+// TestStreamFallbackProfiles pins the degraded path: a candidate list
+// whose Markov-Daly profiles would collide in Rank's shared predictor
+// cache flips the evaluator to permanent per-tick full ranking instead
+// of risking a divergent incremental answer.
+func TestStreamFallbackProfiles(t *testing.T) {
+	set := paperRegimes()["low/day1"]
+	cfg := streamConfigFor(set)
+	cfg.CrossCheckEvery = -1
+	cfg.Candidates = []PolicyFactory{
+		{Kind: "markov-daly", New: func() sim.CheckpointPolicy { return NewMarkovDaly() }},
+		{Kind: "markov-daly-q10", New: func() sim.CheckpointPolicy {
+			m := NewMarkovDaly()
+			m.Quantum = 0.1
+			return m
+		}},
+	}
+	se, err := NewStreamEvaluator(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !se.Stats().Fallback {
+		t.Fatal("colliding Markov-Daly profiles did not flip the evaluator to fallback")
+	}
+	for i := 0; i < 12; i++ {
+		upd, err := se.Advance(set.PricesAt(set.Start() + int64(i)*set.Step()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upd.Generation == 0 || len(upd.Plans) == 0 {
+			t.Fatalf("tick %d: no table in fallback mode", i)
+		}
+	}
+}

@@ -26,6 +26,12 @@ func Proxy(target *url.URL, onError func(error)) http.Handler {
 	transport := http.DefaultTransport.(*http.Transport).Clone()
 	transport.DialContext = (&net.Dialer{Timeout: ProxyDialTimeout}).DialContext
 	p.Transport = transport
+	// Streaming passthrough: quote plans are pushed over long-lived SSE
+	// responses, where a buffered frame is a stale plan on the client.
+	// A negative FlushInterval forwards every upstream write immediately
+	// instead of coalescing on a timer; one-shot JSON responses are a
+	// single write, so they pay nothing for it.
+	p.FlushInterval = -1
 	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
 		if onError != nil {
 			onError(err)

@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestProxyForwards round-trips a request through the proxy and checks
@@ -40,6 +41,80 @@ func TestProxyForwards(t *testing.T) {
 	}
 	if got := rec.Header().Get("X-Backend"); got != "b0" {
 		t.Fatalf("response header X-Backend = %q, want b0", got)
+	}
+}
+
+// TestProxyStreamsIncrementally pins the streaming passthrough: a
+// frame the backend writes and flushes mid-response must reach the
+// client while the backend is still holding the connection open — the
+// proxy may not buffer the stream.
+func TestProxyStreamsIncrementally(t *testing.T) {
+	release := make(chan struct{})
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("X-Plan-Generation", "7")
+		io.WriteString(w, "event: plan\ndata: {\"generation\":7}\n\n")
+		w.(http.Flusher).Flush()
+		<-release
+		io.WriteString(w, "event: plan\ndata: {\"generation\":8}\n\n")
+	}))
+	defer backend.Close()
+	defer close(release)
+	u, err := url.Parse(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(Proxy(u, nil))
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/quotes/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Plan-Generation"); got != "7" {
+		t.Fatalf("X-Plan-Generation = %q, want 7", got)
+	}
+	type chunk struct {
+		data string
+		err  error
+	}
+	reads := make(chan chunk)
+	go func() {
+		buf := make([]byte, 512)
+		for {
+			n, err := resp.Body.Read(buf)
+			reads <- chunk{data: string(buf[:n]), err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	// The first frame must arrive while the backend is blocked on
+	// release — i.e. before the response is complete.
+	var first strings.Builder
+	deadline := time.After(10 * time.Second)
+	for !strings.Contains(first.String(), `{"generation":7}`) {
+		select {
+		case c := <-reads:
+			if c.err != nil {
+				t.Fatalf("stream ended early with %q (%v)", first.String()+c.data, c.err)
+			}
+			first.WriteString(c.data)
+		case <-deadline:
+			t.Fatal("first frame never flushed through the proxy")
+		}
+	}
+	release <- struct{}{}
+	var rest strings.Builder
+	for c := range reads {
+		rest.WriteString(c.data)
+		if c.err != nil {
+			break
+		}
+	}
+	if !strings.Contains(rest.String(), `{"generation":8}`) {
+		t.Fatalf("second frame missing: %q", rest.String())
 	}
 }
 

@@ -225,6 +225,64 @@ func (f *PrefixFitter) Init(prices []float64, step int64) {
 	f.curN = 1
 }
 
+// Extend re-points the fitter at a grown copy of its column — prices
+// must carry the previously indexed samples unchanged as its prefix —
+// and indexes the appended tail, preserving the incremental transition
+// table. Appending a sample of an already-known value costs O(log D);
+// a brand-new distinct value costs one O(n + D²) remap of the sample
+// ids and count table (rare once a quantized column has warmed up).
+// Fits after an Extend are bit-identical to a fresh Init over the grown
+// column: the distinct-value order, first occurrences and counts end up
+// exactly as Init would build them.
+func (f *PrefixFitter) Extend(prices []float64) {
+	for t := len(f.gid); t < len(prices); t++ {
+		p := prices[t]
+		g := sort.SearchFloat64s(f.sorted, p)
+		if g == len(f.sorted) || f.sorted[g] != p {
+			f.insertState(g, p)
+		}
+		f.gid = append(f.gid, int32(g))
+		if f.first[g] < 0 {
+			f.first[g] = int32(t)
+		}
+	}
+	f.prices = prices
+}
+
+// insertState grows the distinct-value structure by one value at sorted
+// position g: ids at or above g shift up in the sample map and the
+// transition table, and the new value starts with no occurrences.
+func (f *PrefixFitter) insertState(g int, p float64) {
+	d := len(f.sorted)
+	f.sorted = append(f.sorted, 0)
+	copy(f.sorted[g+1:], f.sorted[g:])
+	f.sorted[g] = p
+	f.first = append(f.first, 0)
+	copy(f.first[g+1:], f.first[g:])
+	f.first[g] = -1
+	for i, id := range f.gid {
+		if id >= int32(g) {
+			f.gid[i] = id + 1
+		}
+	}
+	nd := d + 1
+	counts := make([]float64, nd*nd)
+	for r := 0; r < d; r++ {
+		nr := r
+		if r >= g {
+			nr++
+		}
+		for c := 0; c < d; c++ {
+			nc := c
+			if c >= g {
+				nc++
+			}
+			counts[nr*nd+nc] = f.ccounts[r*d+c]
+		}
+	}
+	f.ccounts = counts
+}
+
 // Fit estimates the chain from the column's first n samples, exactly
 // like Fit over that prefix. When reuse is non-nil its storage is
 // recycled for the result, as in Fitter.Fit.

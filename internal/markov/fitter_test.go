@@ -162,3 +162,47 @@ func TestSolverMatchesExact(t *testing.T) {
 		}
 	}
 }
+
+// TestPrefixFitterExtendMatchesInit pins the streaming contract: a
+// fitter Extended tick by tick (including ticks that introduce brand-new
+// distinct values, exercising the id remap) fits every probed prefix
+// bit-identically to a fresh Init over the grown column — and to the
+// package-level Fit.
+func TestPrefixFitterExtendMatchesInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	full := quantPrices(rng, 400, 10)
+	// Splice in late-arriving novel values so Extend's insertState path
+	// runs after warm-up.
+	full[250] = 9.95
+	full[300] = 0.001
+	full[399] = 7.77
+
+	var inc PrefixFitter
+	inc.Init(full[:3], 300)
+	var reuse *Model
+	for n := 4; n <= len(full); n++ {
+		inc.Extend(full[:n])
+		if n%37 != 0 && n != len(full) {
+			continue
+		}
+		var fresh PrefixFitter
+		fresh.Init(full[:n], 300)
+		for _, k := range []int{1, n / 2, n} {
+			want, err := fresh.Fit(k, nil)
+			if err != nil {
+				t.Fatalf("fresh.Fit(%d) at n=%d: %v", k, n, err)
+			}
+			got, err := inc.Fit(k, reuse)
+			if err != nil {
+				t.Fatalf("inc.Fit(%d) at n=%d: %v", k, n, err)
+			}
+			modelsEqual(t, got, want)
+			direct, err := Fit(full[:k], 300)
+			if err != nil {
+				t.Fatalf("Fit(%d): %v", k, err)
+			}
+			modelsEqual(t, got, direct)
+			reuse = got
+		}
+	}
+}

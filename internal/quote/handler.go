@@ -23,6 +23,16 @@ import (
 // unavailable — additionally carry X-Quote-Stale: true, so degradation
 // is explicit on the wire, never silent.
 func NewHandler(s *Service) http.Handler {
+	return NewStreamingHandler(s, nil)
+}
+
+// NewStreamingHandler is NewHandler plus the push API when st is
+// non-nil:
+//
+//	GET /v1/quotes/stream — SSE (or ?mode=poll long-poll) plan pushes
+//
+// See registerStream for the streaming wire contract.
+func NewStreamingHandler(s *Service, st *Streamer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/quote", func(w http.ResponseWriter, r *http.Request) {
 		req, err := DecodeRequest(r.Body)
@@ -59,6 +69,9 @@ func NewHandler(s *Service) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		s.Stats().Render(w)
 	})
+	if st != nil {
+		registerStream(mux, st)
+	}
 	return mux
 }
 

@@ -136,6 +136,14 @@ func (c *Columns) HistoryInto(buf []float64, zone int, now, span int64) []float6
 // the paper's "up" condition), plus a next-up skip table so a replay
 // whose zones are all down can jump directly to the next step where one
 // becomes available.
+//
+// The skip tables store open runs as a -1 sentinel ("no such step yet")
+// rather than the window length, which makes the index append-aware:
+// Append extends it tick by tick in amortized O(1) per step — every
+// entry is written at most twice, once at its own append and once when
+// the run it opens is closed by a later step — while NextUp/NextChange
+// keep reporting the current Steps() for open runs, exactly as a fresh
+// Build over the grown window would.
 type BidIndex struct {
 	// Zone is the indexed zone.
 	Zone int
@@ -143,8 +151,9 @@ type BidIndex struct {
 	Bid float64
 
 	up   []bool
-	next []int32
-	chg  []int32
+	next []int32 // first up step at or after i; -1 while none yet
+	chg  []int32 // first availability flip after i; -1 while none yet
+	nUp  int
 }
 
 // Build populates the index for the (zone, bid) pair over the columnar
@@ -152,45 +161,71 @@ type BidIndex struct {
 func (bi *BidIndex) Build(c *Columns, zone int, bid float64) {
 	bi.Zone = zone
 	bi.Bid = bid
-	n := c.n
-	if cap(bi.up) < n {
-		bi.up = make([]bool, n)
-		bi.next = make([]int32, n+1)
-		bi.chg = make([]int32, n)
-	}
-	bi.up = bi.up[:n]
-	bi.next = bi.next[:n+1]
-	bi.chg = bi.chg[:n]
-	col := c.cols[zone]
-	bi.next[n] = int32(n)
-	for i := n - 1; i >= 0; i-- {
-		u := col[i] <= bid
-		bi.up[i] = u
+	bi.up = bi.up[:0]
+	bi.next = bi.next[:0]
+	bi.chg = bi.chg[:0]
+	bi.nUp = 0
+	bi.Append(c, 0)
+}
+
+// Append extends the index over the view's steps [from, Steps()), where
+// from must be the length the index currently covers. Amortized cost is
+// O(1) per appended step: an up arrival closes the trailing next-up
+// run, an availability flip closes the trailing equal-run, and each
+// entry belongs to at most one such run.
+func (bi *BidIndex) Append(c *Columns, from int) {
+	col := c.cols[bi.Zone]
+	for i := from; i < c.n; i++ {
+		u := col[i] <= bi.Bid
+		bi.up = append(bi.up, u)
+		bi.chg = append(bi.chg, -1)
 		if u {
-			bi.next[i] = int32(i)
+			bi.nUp++
+			bi.next = append(bi.next, int32(i))
+			for j := i - 1; j >= 0 && bi.next[j] < 0; j-- {
+				bi.next[j] = int32(i)
+			}
 		} else {
-			bi.next[i] = bi.next[i+1]
+			bi.next = append(bi.next, -1)
 		}
-		if i == n-1 || u != bi.up[i+1] {
-			bi.chg[i] = int32(i + 1)
-		} else {
-			bi.chg[i] = bi.chg[i+1]
+		if i > 0 && u != bi.up[i-1] {
+			for j := i - 1; j >= 0 && bi.chg[j] < 0; j-- {
+				bi.chg[j] = int32(i)
+			}
 		}
 	}
 }
+
+// Len returns how many steps the index covers.
+func (bi *BidIndex) Len() int { return len(bi.up) }
+
+// UpCount returns how many covered steps are available — the running
+// availability count a streaming consumer reads instead of rescanning
+// the window.
+func (bi *BidIndex) UpCount() int { return bi.nUp }
 
 // Up reports whether the zone is available at step i.
 func (bi *BidIndex) Up(i int) bool { return bi.up[i] }
 
 // NextUp returns the first step at or after i where the zone is
 // available, or Steps() when it never is again.
-func (bi *BidIndex) NextUp(i int) int { return int(bi.next[i]) }
+func (bi *BidIndex) NextUp(i int) int {
+	if v := bi.next[i]; v >= 0 {
+		return int(v)
+	}
+	return len(bi.up)
+}
 
 // NextChange returns the first step after i where the zone's
 // availability differs from its availability at i, or Steps() when it
 // never changes again. An event-driven replay uses this to bound the
 // stretch over which every zone's up/down state is constant.
-func (bi *BidIndex) NextChange(i int) int { return int(bi.chg[i]) }
+func (bi *BidIndex) NextChange(i int) int {
+	if v := bi.chg[i]; v >= 0 {
+		return int(v)
+	}
+	return len(bi.up)
+}
 
 // UpIntervals reconstructs the maximal availability intervals from the
 // index; it must agree with Series.UpIntervals at the same bid (the
@@ -260,4 +295,14 @@ func (x *AvailIndex) Get(zone int, bid float64) *BidIndex {
 	bi.Build(x.cols, zone, bid)
 	x.pairs = append(x.pairs, bi)
 	return bi
+}
+
+// Extend appends the view's new trailing steps to every cached index
+// after the underlying columns grew (e.g. a streaming tick). Indexes
+// built by a later Get cover the grown window already; Extend brings
+// the resident ones up to date in O(pairs) amortized.
+func (x *AvailIndex) Extend() {
+	for _, bi := range x.pairs {
+		bi.Append(x.cols, bi.Len())
+	}
 }

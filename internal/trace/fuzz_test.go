@@ -54,3 +54,49 @@ func FuzzReadJSON(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBidIndexAppend drives the append-aware availability index with
+// arbitrary byte-derived tick sequences and asserts the streaming
+// invariant: an index extended tick by tick answers every query
+// identically to one rebuilt from scratch over the grown window.
+func FuzzBidIndexAppend(f *testing.F) {
+	f.Add([]byte{10, 200, 10, 40, 40, 40, 200, 0, 0, 255})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 1, 254, 2, 253, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 512 {
+			return
+		}
+		// Each byte is one tick's price in cents; the bid sits mid-range
+		// so both availability states occur.
+		tape, err := NewTape([]string{"z"}, 0, DefaultStep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols := &Columns{}
+		var inc BidIndex
+		const bid = 1.28
+		for i, b := range data {
+			if err := tape.Append([]float64{float64(b) / 100}); err != nil {
+				t.Fatal(err)
+			}
+			cols.Reset(tape.Set())
+			if i == 0 {
+				inc.Build(cols, 0, bid)
+			} else {
+				inc.Append(cols, inc.Len())
+			}
+		}
+		var ref BidIndex
+		ref.Build(cols, 0, bid)
+		if inc.Len() != ref.Len() || inc.UpCount() != ref.UpCount() {
+			t.Fatalf("shape: len %d/%d upcount %d/%d", inc.Len(), ref.Len(), inc.UpCount(), ref.UpCount())
+		}
+		for i := 0; i < ref.Len(); i++ {
+			if inc.Up(i) != ref.Up(i) || inc.NextUp(i) != ref.NextUp(i) || inc.NextChange(i) != ref.NextChange(i) {
+				t.Fatalf("step %d: up %v/%v nextup %d/%d nextchange %d/%d", i,
+					inc.Up(i), ref.Up(i), inc.NextUp(i), ref.NextUp(i), inc.NextChange(i), ref.NextChange(i))
+			}
+		}
+	})
+}

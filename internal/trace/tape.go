@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tape is an append-only columnar price store for streaming
+// consumption: the price feed delivers one sample row per tick, the
+// tape owns the per-zone columns it accretes them into, and the
+// evaluation layers read the accumulated history through the usual Set
+// and Columns views. It is the mutable counterpart of a Set — a Set
+// slices windows off a fixed history, a Tape grows one tick at a time —
+// and exists so the streaming evaluator can delta-update availability
+// indexes and resident replay state instead of rebuilding them per
+// request.
+//
+// A Tape is not safe for concurrent use; the streaming pipeline owns it
+// from a single tick goroutine.
+type Tape struct {
+	zones []string
+	start int64
+	step  int64
+	cols  [][]float64
+
+	series []*Series
+	set    Set
+}
+
+// NewTape returns an empty tape for the zones, with the first sample to
+// arrive at absolute time start and subsequent samples every step
+// seconds.
+func NewTape(zones []string, start, step int64) (*Tape, error) {
+	if len(zones) == 0 {
+		return nil, fmt.Errorf("trace: tape needs at least one zone")
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("trace: tape needs a positive step, got %d", step)
+	}
+	t := &Tape{
+		zones:  append([]string(nil), zones...),
+		start:  start,
+		step:   step,
+		cols:   make([][]float64, len(zones)),
+		series: make([]*Series, len(zones)),
+	}
+	for i, z := range zones {
+		t.series[i] = &Series{Zone: z, Epoch: start, Step: step}
+	}
+	t.set.Series = t.series
+	return t, nil
+}
+
+// Zones returns the zone names in column order.
+func (t *Tape) Zones() []string { return t.zones }
+
+// Len returns the number of appended ticks.
+func (t *Tape) Len() int { return len(t.cols[0]) }
+
+// Start returns the absolute time of the first sample.
+func (t *Tape) Start() int64 { return t.start }
+
+// Step returns the sampling interval in seconds.
+func (t *Tape) Step() int64 { return t.step }
+
+// End returns the absolute time just past the last sample.
+func (t *Tape) End() int64 { return t.start + int64(t.Len())*t.step }
+
+// Append accretes one price row (one sample per zone, column order),
+// rejecting rows a trace.Validate would reject — non-finite or negative
+// prices — so everything downstream keeps the Set invariants.
+func (t *Tape) Append(prices []float64) error {
+	if len(prices) != len(t.cols) {
+		return fmt.Errorf("trace: tape row has %d prices for %d zones", len(prices), len(t.cols))
+	}
+	for i, p := range prices {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("trace: tape row price %d (%q) is not finite", i, t.zones[i])
+		}
+		if p < 0 {
+			return fmt.Errorf("trace: tape row price %d (%q) is negative (%g)", i, t.zones[i], p)
+		}
+	}
+	for i, p := range prices {
+		t.cols[i] = append(t.cols[i], p)
+	}
+	return nil
+}
+
+// Set returns the tape's current contents as an aligned Set aliasing
+// the tape's storage. The view is only valid until the next Append;
+// consumers that outlive a tick must Clone it.
+func (t *Tape) Set() *Set {
+	for i := range t.series {
+		t.series[i].Prices = t.cols[i]
+	}
+	return &t.set
+}
+
+// Tail returns a new tape holding only the trailing keep ticks (deep
+// copy, epoch advanced accordingly) — the compaction step a bounded
+// streaming window uses when the accumulated history outgrows its
+// retention budget. keep larger than Len copies everything.
+func (t *Tape) Tail(keep int) *Tape {
+	n := t.Len()
+	if keep > n {
+		keep = n
+	}
+	drop := n - keep
+	nt, err := NewTape(t.zones, t.start+int64(drop)*t.step, t.step)
+	if err != nil {
+		panic(err) // t itself was constructed through the same checks
+	}
+	for i := range t.cols {
+		nt.cols[i] = append([]float64(nil), t.cols[i][drop:]...)
+	}
+	return nt
+}

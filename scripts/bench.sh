@@ -21,26 +21,39 @@
 # counted 429s, and a killed backend must eject without a
 # client-visible error — so a violated gate fails this script.
 #
-# Usage: scripts/bench.sh [obs-output] [batch-output] [cluster-output]
-#        (defaults BENCH_obs.json, BENCH_batch.json, BENCH_cluster.json)
+# The streaming pair (StreamTick vs StreamFullRerank) measures the
+# incremental per-tick re-ranker against a from-scratch Rank per tick
+# over the same retention window, and the streaming load generator
+# (quoted -selfbench -stream) measures plan-push latency over real SSE
+# connections; both land in BENCH_stream.json. The per-tick update must
+# be at least 5x faster than the full re-rank — the point of streaming
+# quotes — or the script fails.
+#
+# Usage: scripts/bench.sh [obs-output] [batch-output] [cluster-output] [stream-output]
+#        (defaults BENCH_obs.json, BENCH_batch.json, BENCH_cluster.json,
+#        BENCH_stream.json)
 set -eu
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_obs.json}
 batchout=${2:-BENCH_batch.json}
 clusterout=${3:-BENCH_cluster.json}
+streamout=${4:-BENCH_stream.json}
 count=${BENCH_COUNT:-3}
 clients=${BENCH_CLIENTS:-50}
 duration=${BENCH_DURATION:-3s}
 sim_loads=${BENCH_SIM_LOADS:-300,1200,4800}
 sim_duration=${BENCH_SIM_DURATION:-2s}
+stream_subs=${BENCH_STREAM_SUBS:-50}
+stream_rate=${BENCH_STREAM_RATE:-20}
 
 tmp=$(mktemp)
 self=$(mktemp)
-trap 'rm -f "$tmp" "$self"' EXIT
+streamself=$(mktemp)
+trap 'rm -f "$tmp" "$self" "$streamself"' EXIT
 
-echo "bench: go test -bench 'AdaptiveDecision|MachineReset|BatchRank' -count $count" >&2
-go test -run '^$' -bench 'AdaptiveDecision|MachineReset|BatchRank' -benchmem \
+echo "bench: go test -bench 'AdaptiveDecision|MachineReset|BatchRank|StreamTick|StreamFullRerank' -count $count" >&2
+go test -run '^$' -bench 'AdaptiveDecision|MachineReset|BatchRank|StreamTick|StreamFullRerank' -benchmem \
 	-count "$count" . | tee /dev/stderr >"$tmp"
 
 echo "bench: quoted -selfbench $clients -bench-duration $duration" >&2
@@ -149,3 +162,62 @@ echo "bench: quotelb -sim -sim-loads $sim_loads -sim-duration $sim_duration" >&2
 go run ./cmd/quotelb -sim -sim-loads "$sim_loads" -sim-duration "$sim_duration" >"$clusterout"
 
 echo "bench: wrote $clusterout" >&2
+
+# Streaming report: the per-tick incremental re-rank vs the
+# from-scratch baseline (gated at 5x), plus the SSE subscriber load
+# generator's plan-push pipeline numbers.
+echo "bench: quoted -selfbench $stream_subs -stream -stream-rate $stream_rate -bench-duration $duration" >&2
+go run ./cmd/quoted -selfbench "$stream_subs" -stream -stream-rate "$stream_rate" \
+	-bench-duration "$duration" | tee /dev/stderr >"$streamself"
+
+awk -v streamself="$streamself" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	ns = $3; allocs = $7
+	if (!(name in best) || ns + 0 < best[name] + 0) {
+		best[name] = ns; alloc[name] = allocs
+	}
+}
+END {
+	tick = best["StreamTick"]; full = best["StreamFullRerank"]
+	if (tick == "" || full == "") {
+		print "bench: missing StreamTick/StreamFullRerank pair" > "/dev/stderr"
+		exit 1
+	}
+	speed = (full + 0) / (tick + 0)
+	# streambench lines:
+	#   "  feed          N ticks (R/s), G plan generations"
+	#   "  pushes        E plan events delivered (X/subscriber), errors F"
+	#   "  push latency  p50 X.XXXms  p95 X.XXXms  p99 X.XXXms"
+	ticks = 0; gens = 0; events = 0; p50 = 0; p99 = 0
+	while ((getline line < streamself) > 0) {
+		if (line ~ /feed/) {
+			split(line, f, /[ (),]+/)
+			ticks = f[3]; gens = f[6]
+		}
+		if (line ~ /pushes/) {
+			split(line, f, /[ (),]+/)
+			events = f[3]
+		}
+		if (line ~ /push latency/) {
+			split(line, f, /[ ]+/)
+			p50 = f[5]; p99 = f[9]
+			sub(/ms$/, "", p50); sub(/ms$/, "", p99)
+		}
+	}
+	printf "{\n"
+	printf "  \"per_tick\": {\"stream_tick_ns_per_op\": %s, \"full_rerank_ns_per_op\": %s, \"speedup_x\": %.2f, \"stream_tick_allocs_per_op\": %s, \"full_rerank_allocs_per_op\": %s},\n", \
+		tick, full, speed, alloc["StreamTick"], alloc["StreamFullRerank"]
+	printf "  \"streambench\": {\"ticks\": %s, \"generations\": %s, \"plan_events\": %s, \"push_p50_ms\": %s, \"push_p99_ms\": %s}\n", \
+		ticks, gens, events, p50, p99
+	printf "}\n"
+	if (speed < 5) {
+		printf "bench: per-tick streaming update only %.2fx faster than full re-rank (gate: 5x)\n", speed > "/dev/stderr"
+		exit 1
+	}
+}
+' "$tmp" >"$streamout"
+
+echo "bench: wrote $streamout" >&2

@@ -25,4 +25,5 @@ go build ./...
 go test -race ./...
 go test -run '^$' -fuzz '^FuzzRowParser$' -fuzztime 5s ./internal/livesched
 go test -run '^$' -fuzz '^FuzzBatchedMeasure$' -fuzztime 5s ./internal/core
+go test -run '^$' -fuzz '^FuzzBidIndexAppend$' -fuzztime 5s ./internal/trace
 go run ./cmd/chaossim -runs 20 -seed 1
