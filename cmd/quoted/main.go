@@ -69,6 +69,9 @@ func main() {
 	benchDur := flag.Duration("bench-duration", 5*time.Second, "load generator run time")
 	stream := flag.Bool("stream", false, "serve GET /v1/quotes/stream, feeding the streamer by replaying the synthetic preset as a live tick feed (with -selfbench: run the subscriber load generator instead)")
 	streamRate := flag.Float64("stream-rate", 8, "replayed feed ticks per second in -stream mode")
+	snapshot := flag.String("snapshot", "", "crash-recovery snapshot file for -stream mode: checkpoints are written there and, on startup, the stream resumes from it instead of replaying from scratch")
+	checkpointEvery := flag.Int("checkpoint-every", quote.DefaultCheckpointEvery, "feed ticks between -snapshot checkpoints")
+	heartbeat := flag.Duration("stream-heartbeat", quote.DefaultHeartbeat, "SSE keepalive cadence")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceSpans := flag.Int("trace-spans", 0, "trace request/evaluation spans into a ring of this size, served at /debug/trace (0: disabled)")
 	flag.Parse()
@@ -122,11 +125,27 @@ func main() {
 		}
 		streamMetrics = metrics.AttachStream()
 		streamer = &quote.Streamer{
-			Eval:    svc.Eval,
-			Metrics: streamMetrics,
-			Zones:   presetSet.Zones(),
-			Start:   presetSet.Start(),
-			Step:    presetSet.Step(),
+			Eval:            svc.Eval,
+			Metrics:         streamMetrics,
+			Zones:           presetSet.Zones(),
+			Start:           presetSet.Start(),
+			Step:            presetSet.Step(),
+			Heartbeat:       *heartbeat,
+			CheckpointEvery: *checkpointEvery,
+		}
+		if *snapshot != "" {
+			store := &quote.FileStore{Path: *snapshot}
+			streamer.Store = store
+			snap, err := store.Load()
+			if err != nil {
+				log.Fatalf("loading snapshot %s: %v", *snapshot, err)
+			}
+			if snap != nil {
+				if err := streamer.Restore(snap); err != nil {
+					log.Fatalf("restoring snapshot %s: %v", *snapshot, err)
+				}
+				log.Printf("resumed stream from %s at feed seq %d (%d shapes)", *snapshot, snap.Seq, len(snap.Shapes))
+			}
 		}
 	}
 	// The API handler is wrapped with request tracing; the debug surface
@@ -167,7 +186,8 @@ func main() {
 // live feed: one row per tick at rate ticks/second, cycling when the
 // trace runs out. Sequence numbers are the feed's own, so the
 // streamer's dedup/gap handling is exercised identically to a real
-// feed.
+// feed. A streamer restored from a -snapshot resumes at its next
+// sequence number — the restart catches up instead of replaying.
 func replayFeed(ctx context.Context, st *quote.Streamer, set *trace.Set, rate float64) {
 	if rate <= 0 {
 		rate = 8
@@ -175,7 +195,7 @@ func replayFeed(ctx context.Context, st *quote.Streamer, set *trace.Set, rate fl
 	t := time.NewTicker(time.Duration(float64(time.Second) / rate))
 	defer t.Stop()
 	n := set.Series[0].Len()
-	for seq := uint64(1); ; seq++ {
+	for seq := st.Seq() + 1; ; seq++ {
 		select {
 		case <-ctx.Done():
 			return

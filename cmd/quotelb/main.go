@@ -68,6 +68,9 @@ func main() {
 	rate := flag.Float64("rate", 0, "default-bucket admission rate in req/s (0: unlimited)")
 	burst := flag.Float64("burst", 0, "default-bucket burst (0: same as -rate)")
 	maxAttempts := flag.Int("max-attempts", 0, "forward attempts per request (0: every backend once)")
+	retryRatio := flag.Float64("retry-budget-ratio", 0, "retry tokens each admitted request earns; failovers and hedges each spend one (0: unbounded failover)")
+	retryBurst := flag.Float64("retry-budget-burst", cluster.DefaultRetryBurst, "retry token pool cap when -retry-budget-ratio is set")
+	hedgeAfter := flag.Duration("hedge-after", 0, "launch one speculative attempt at the next backend if the first has not answered within this (0: no hedging; deadline-aware and budget-gated)")
 	breakerFails := flag.Int("breaker-failures", quote.DefaultBreakerThreshold, "consecutive forward failures that eject a backend")
 	breakerCooldown := flag.Duration("breaker-cooldown", quote.DefaultBreakerCooldown, "ejection period before a readmission probe")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "active /healthz probe interval for ejected backends (0: passive only)")
@@ -118,11 +121,17 @@ func main() {
 		}
 		limiter = &cluster.Limiter{Default: cluster.Quota{Rate: *rate, Burst: b}, Tenants: quotas}
 	}
+	var budget *cluster.Budget
+	if *retryRatio > 0 {
+		budget = &cluster.Budget{Ratio: *retryRatio, Burst: *retryBurst}
+	}
 	router := &cluster.Router{
 		Backends:    fleet,
 		Policy:      policy,
 		Limiter:     limiter,
 		MaxAttempts: *maxAttempts,
+		Retry:       budget,
+		HedgeAfter:  *hedgeAfter,
 	}
 
 	var tracer *obs.Tracer

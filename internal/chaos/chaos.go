@@ -23,11 +23,11 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
-	"runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/leak"
 	"repro/internal/livesched"
 	"repro/internal/market"
 	"repro/internal/obs"
@@ -122,7 +122,7 @@ func Soak(ctx context.Context, cfg Config) (*Report, error) {
 		cfg.Preset = "high"
 	}
 	start := time.Now()
-	before := runtime.NumGoroutine()
+	before := leak.Baseline()
 	rep := &Report{}
 	for i := 0; i < cfg.Runs; i++ {
 		seed := cfg.Seed + uint64(i)
@@ -153,7 +153,7 @@ func Soak(ctx context.Context, cfg Config) (*Report, error) {
 				seed, first.Strategy, len(first.Scenario.Plans), first.DeadlineMet, first.Fallback,
 				first.Degradation.WatchdogTrips, first.Degradation.InvalidRows, first.Cost, first.Digest)
 		}
-		if err := checkGoroutines(before); err != nil {
+		if err := leak.Check(before); err != nil {
 			return nil, fmt.Errorf("chaos: seed %d: %w", seed, err)
 		}
 	}
@@ -349,22 +349,4 @@ func digest(res *sim.Result) string {
 		put(math.Float64bits(e.Rate))
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
-}
-
-// checkGoroutines polls for the goroutine count to settle back to the
-// baseline, tolerating the runtime's own transient goroutines.
-func checkGoroutines(baseline int) error {
-	deadline := time.Now().Add(2 * time.Second)
-	var n int
-	for {
-		n = runtime.NumGoroutine()
-		if n <= baseline {
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("goroutine leak: %d running, baseline %d", n, baseline)
-		}
-		runtime.Gosched()
-		time.Sleep(10 * time.Millisecond)
-	}
 }

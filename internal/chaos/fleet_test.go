@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestFleetSoak drives the full fleet chaos harness over a seed window
+// chosen to exercise every fleet fault kind — backend kill/restart,
+// LB↔backend partition, slow-loris subscribers and feed gaps — and
+// checks the aggregate contract on top of the per-scenario invariants
+// FleetSoak itself enforces (zero client-visible errors, monotonic
+// generations, bounded catch-up, determinism, no leaks).
+func TestFleetSoak(t *testing.T) {
+	cfg := FleetConfig{Seed: 1, Scenarios: 5, Ticks: 64}
+	var log bytes.Buffer
+	cfg.Log = &log
+	rep, err := FleetSoak(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, log.String())
+	}
+	if len(rep.Runs) != cfg.Scenarios {
+		t.Fatalf("%d runs, want %d", len(rep.Runs), cfg.Scenarios)
+	}
+	// The window must exercise the whole fleet taxonomy, or the soak is
+	// vacuous.
+	if rep.Kills == 0 || rep.Partitions == 0 || rep.SlowClients == 0 || rep.FeedGaps == 0 {
+		t.Fatalf("fault coverage hole: kills=%d partitions=%d slow=%d gaps=%d",
+			rep.Kills, rep.Partitions, rep.SlowClients, rep.FeedGaps)
+	}
+	if rep.Restores != rep.Kills {
+		t.Fatalf("restores=%d for kills=%d: every kill must recover from its snapshot", rep.Restores, rep.Kills)
+	}
+	// Snapshot resume, not full replay: no single restore may approach
+	// the horizon.
+	if rep.MaxCatchup <= 0 || rep.MaxCatchup >= cfg.Ticks/2 {
+		t.Fatalf("max catch-up %d of %d ticks: not a bounded resume", rep.MaxCatchup, cfg.Ticks)
+	}
+	for _, r := range rep.Runs {
+		if r.Requests != cfg.Ticks {
+			t.Fatalf("seed %d: %d routed quotes, want %d", r.Seed, r.Requests, cfg.Ticks)
+		}
+		if r.Reconnects == 0 {
+			t.Fatalf("seed %d: live SSE client never connected", r.Seed)
+		}
+		if r.Digest == "" {
+			t.Fatalf("seed %d: empty digest", r.Seed)
+		}
+	}
+}
+
+// TestFleetSoakReproducible pins cross-soak determinism: running the
+// same configuration twice yields byte-identical per-seed reports —
+// the property that makes a fleet chaos failure replayable.
+func TestFleetSoakReproducible(t *testing.T) {
+	cfg := FleetConfig{Seed: 11, Scenarios: 2, Ticks: 48}
+	a, err := FleetSoak(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetSoak(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Runs {
+		if a.Runs[i].Digest != b.Runs[i].Digest {
+			t.Fatalf("seed %d: digests diverge across soaks: %s vs %s",
+				a.Runs[i].Seed, a.Runs[i].Digest, b.Runs[i].Digest)
+		}
+		if a.Runs[i].CatchupTicks != b.Runs[i].CatchupTicks || a.Runs[i].Restores != b.Runs[i].Restores {
+			t.Fatalf("seed %d: recovery accounting diverges across soaks", a.Runs[i].Seed)
+		}
+	}
+}

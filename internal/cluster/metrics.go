@@ -34,6 +34,15 @@ type Metrics struct {
 	Readmissions obs.Counter
 	// Unroutable counts requests that exhausted every backend (503).
 	Unroutable obs.Counter
+	// Retries counts budget tokens spent on failovers and hedges (0
+	// when no retry budget is configured).
+	Retries obs.Counter
+	// RetrySuppressed counts failovers and hedges the retry budget
+	// refused — bounded extra work doing its job under overload.
+	RetrySuppressed obs.Counter
+	// Hedges counts speculative second attempts launched because the
+	// first exceeded the hedge latency threshold.
+	Hedges obs.Counter
 
 	latency *obs.Histogram // whole routing decision + forward latency
 
@@ -55,6 +64,9 @@ func NewMetrics() *Metrics {
 	m.reg.Counter("quotelb_probes_total", &m.Probes)
 	m.reg.Counter("quotelb_readmissions_total", &m.Readmissions)
 	m.reg.Counter("quotelb_unroutable_total", &m.Unroutable)
+	m.reg.Counter("quotelb_retries_total", &m.Retries)
+	m.reg.Counter("quotelb_retry_suppressed_total", &m.RetrySuppressed)
+	m.reg.Counter("quotelb_hedges_total", &m.Hedges)
 	m.reg.Histogram("quotelb_latency_seconds", "stage", "route", routerQuantiles, m.latency)
 	return m
 }

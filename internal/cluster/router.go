@@ -37,6 +37,15 @@ type Router struct {
 	// MaxAttempts bounds forward attempts per request; 0 tries every
 	// backend once.
 	MaxAttempts int
+	// Retry bounds failovers and hedges across requests (see Budget);
+	// nil keeps the historical unbounded failover behavior.
+	Retry *Budget
+	// HedgeAfter, when positive, launches one speculative attempt at
+	// the next backend if the first has not answered within it —
+	// deadline-aware (skipped when the request's remaining deadline
+	// cannot cover a hedge) and budget-gated like any retry. One-shot
+	// quotes only; streams never hedge.
+	HedgeAfter time.Duration
 
 	once sync.Once
 }
@@ -104,6 +113,37 @@ func (r *Router) Handler() http.Handler {
 	return mux
 }
 
+// withdraw asks the retry budget for one failover or hedge token. A
+// nil budget admits everything (the historical behavior); a configured
+// one counts what it grants and what it refuses.
+func (r *Router) withdraw() bool {
+	if r.Retry == nil {
+		return true
+	}
+	if r.Retry.Withdraw() {
+		r.Metrics.Retries.Inc()
+		return true
+	}
+	r.Metrics.RetrySuppressed.Inc()
+	return false
+}
+
+// softFailure classifies a captured response as back-pressure rather
+// than death: a 429, or a 503 that names its Retry-After. Such a
+// backend is alive and shedding — failing over is budget-gated like
+// any retry, but costs no breaker failure, and when every attempt
+// sheds, the last shed response (Retry-After intact) is flushed to the
+// client instead of a synthesized 503.
+func softFailure(code int, header http.Header) bool {
+	switch code {
+	case http.StatusTooManyRequests:
+		return true
+	case http.StatusServiceUnavailable:
+		return header.Get("Retry-After") != ""
+	}
+	return false
+}
+
 // route is the request path: decode → admit → order → forward with
 // failover.
 func (r *Router) route(w http.ResponseWriter, req *http.Request) {
@@ -149,7 +189,17 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request) {
 		maxAttempts = len(order)
 	}
 
+	if r.Retry != nil {
+		r.Retry.Deposit()
+	}
+	if r.HedgeAfter > 0 {
+		r.routeHedged(w, req, body, order, maxAttempts, start)
+		return
+	}
+
 	attempts := 0
+	var shed *capture
+	var shedBackend string
 	for _, idx := range order {
 		if attempts >= maxAttempts {
 			break
@@ -158,6 +208,9 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request) {
 		allowed, probe := b.Breaker.Allow()
 		if !allowed {
 			continue // ejected and still cooling down
+		}
+		if attempts > 0 && !r.withdraw() {
+			break // retry budget spent: stop generating extra work
 		}
 		if probe {
 			m.Probes.Inc()
@@ -168,6 +221,12 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request) {
 		}
 
 		cap := r.forward(req, b, body)
+		if softFailure(cap.code, cap.header) {
+			// Alive but shedding: try elsewhere at no breaker penalty,
+			// keeping the shed response in case everyone sheds.
+			shed, shedBackend = cap, b.Name
+			continue
+		}
 		if cap.code >= http.StatusInternalServerError {
 			b.failures.Inc()
 			if b.Breaker.Failure() {
@@ -185,20 +244,150 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request) {
 		if attempts > 1 {
 			span.SetAttr("failovers", strconv.Itoa(attempts-1))
 		}
-
-		h := w.Header()
-		for k, vs := range cap.header {
-			h[k] = vs
-		}
-		h.Set("X-Backend", b.Name)
-		w.WriteHeader(cap.code)
-		w.Write(cap.body.Bytes())
+		r.flush(w, cap, b.Name)
 		m.latency.Observe(time.Since(start).Seconds())
 		return
 	}
-	m.Unroutable.Inc()
+	r.finish(w, shed, shedBackend, attempts)
+}
+
+// flush writes a captured backend response through to the client.
+func (r *Router) flush(w http.ResponseWriter, cap *capture, backend string) {
+	h := w.Header()
+	for k, vs := range cap.header {
+		h[k] = vs
+	}
+	h.Set("X-Backend", backend)
+	w.WriteHeader(cap.code)
+	w.Write(cap.body.Bytes())
+}
+
+// finish ends a request no backend accepted: the last shed response
+// (its Retry-After intact) when the fleet is back-pressuring, else the
+// synthesized unroutable 503.
+func (r *Router) finish(w http.ResponseWriter, shed *capture, backend string, attempts int) {
+	if shed != nil {
+		r.Metrics.Routed.Inc()
+		r.flush(w, shed, backend)
+		return
+	}
+	r.Metrics.Unroutable.Inc()
 	writeError(w, http.StatusServiceUnavailable,
 		fmt.Errorf("no backend available (%d/%d routable, %d attempts)", r.Available(), len(r.Backends), attempts))
+}
+
+// routeHedged is route's forwarding tail when HedgeAfter is set:
+// attempts run as goroutines so a slow first backend can be raced by
+// one speculative attempt at the next. The hedge is deadline-aware
+// (not launched when the request's remaining deadline cannot cover
+// it), budget-gated like any retry, and capped at one per request —
+// tail-latency insurance, not a traffic multiplier. Breaker
+// bookkeeping happens inside each attempt so an abandoned loser still
+// counts, except when the loss is our own cancellation.
+func (r *Router) routeHedged(w http.ResponseWriter, req *http.Request, body []byte, order []int, maxAttempts int, start time.Time) {
+	m := r.Metrics
+	span := obs.FromContext(req.Context())
+	type result struct {
+		b   *Backend
+		cap *capture
+	}
+	results := make(chan result, len(order)) // losers park here, never on a goroutine
+
+	next := 0
+	launch := func(gated bool) bool {
+		for next < len(order) {
+			b := r.Backends[order[next]]
+			next++
+			allowed, probe := b.Breaker.Allow()
+			if !allowed {
+				continue
+			}
+			if gated && !r.withdraw() {
+				return false
+			}
+			if probe {
+				m.Probes.Inc()
+			}
+			go func() {
+				cap := r.forward(req, b, body)
+				switch {
+				case softFailure(cap.code, cap.header):
+					// Shedding: no breaker movement either way.
+				case cap.code >= http.StatusInternalServerError:
+					// A losing attempt is cancelled through the request
+					// context once the winner responds; don't charge
+					// the backend for our own cancellation.
+					if req.Context().Err() == nil {
+						b.failures.Inc()
+						if b.Breaker.Failure() {
+							m.Ejections.Inc()
+						}
+					}
+				default:
+					b.Breaker.Success()
+					if probe {
+						m.Readmissions.Inc()
+					}
+				}
+				results <- result{b, cap}
+			}()
+			return true
+		}
+		return false
+	}
+
+	if !launch(false) {
+		r.finish(w, nil, "", 0)
+		return
+	}
+	attempts, pending := 1, 1
+	var shed *capture
+	var shedBackend string
+
+	var hedge <-chan time.Time
+	if d, ok := req.Context().Deadline(); !ok || time.Until(d) >= 2*r.HedgeAfter {
+		t := time.NewTimer(r.HedgeAfter)
+		defer t.Stop()
+		hedge = t.C
+	}
+
+	for pending > 0 {
+		select {
+		case <-req.Context().Done():
+			return // client gone; attempts unwind on the same context
+		case <-hedge:
+			hedge = nil // at most one hedge per request
+			if attempts < maxAttempts && launch(true) {
+				attempts++
+				pending++
+				m.Hedges.Inc()
+				m.Failovers.Inc()
+			}
+		case res := <-results:
+			pending--
+			cap := res.cap
+			if !softFailure(cap.code, cap.header) && cap.code < http.StatusInternalServerError {
+				res.b.served.Inc()
+				m.Routed.Inc()
+				span.SetAttr("backend", res.b.Name)
+				if attempts > 1 {
+					span.SetAttr("failovers", strconv.Itoa(attempts-1))
+				}
+				r.flush(w, cap, res.b.Name)
+				m.latency.Observe(time.Since(start).Seconds())
+				return
+			}
+			if softFailure(cap.code, cap.header) {
+				shed, shedBackend = cap, res.b.Name
+			}
+			if attempts < maxAttempts && launch(true) {
+				attempts++
+				pending++
+				m.Failovers.Inc()
+			}
+		}
+	}
+	r.finish(w, shed, shedBackend, attempts)
 }
 
 // routeStream is the streaming request path. A stream cannot ride the
@@ -234,6 +423,9 @@ func (r *Router) routeStream(w http.ResponseWriter, req *http.Request) {
 		maxAttempts = len(order)
 	}
 
+	if r.Retry != nil {
+		r.Retry.Deposit()
+	}
 	attempts := 0
 	for _, idx := range order {
 		if attempts >= maxAttempts {
@@ -244,6 +436,9 @@ func (r *Router) routeStream(w http.ResponseWriter, req *http.Request) {
 		if !allowed {
 			continue
 		}
+		if attempts > 0 && !r.withdraw() {
+			break // retry budget spent: stop generating extra work
+		}
 		if probe {
 			m.Probes.Inc()
 		}
@@ -253,10 +448,20 @@ func (r *Router) routeStream(w http.ResponseWriter, req *http.Request) {
 		}
 
 		sc := &streamCapture{w: w, backend: b.Name, header: make(http.Header)}
-		b.inflight.Add(1)
-		b.Handler.ServeHTTP(sc, req)
-		b.inflight.Add(-1)
-		if sc.failed {
+		aborted := r.serveStreamAttempt(b, sc, req)
+		if aborted && sc.committed() {
+			// The backend died mid-frame after bytes reached the
+			// client. A committed stream cannot fail over — replaying
+			// it elsewhere would duplicate or reorder frames — so
+			// charge the breaker and abort the connection; the client's
+			// reconnect (with Last-Event-ID) is the recovery path.
+			b.failures.Inc()
+			if b.Breaker.Failure() {
+				m.Ejections.Inc()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		if sc.failed || aborted {
 			b.failures.Inc()
 			if b.Breaker.Failure() {
 				m.Ejections.Inc()
@@ -279,6 +484,26 @@ func (r *Router) routeStream(w http.ResponseWriter, req *http.Request) {
 	m.Unroutable.Inc()
 	writeError(w, http.StatusServiceUnavailable,
 		fmt.Errorf("no backend available (%d/%d routable, %d attempts)", r.Available(), len(r.Backends), attempts))
+}
+
+// serveStreamAttempt forwards one streaming attempt, keeping the
+// in-flight gauge and the fleet's health bookkeeping correct when the
+// backend (or the reverse proxy under it) aborts mid-request with
+// http.ErrAbortHandler — a killed quoted process surfaces exactly that
+// way. Any other panic is a programming error and propagates.
+func (r *Router) serveStreamAttempt(b *Backend, sc *streamCapture, req *http.Request) (aborted bool) {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	defer func() {
+		if v := recover(); v != nil {
+			if v != http.ErrAbortHandler {
+				panic(v)
+			}
+			aborted = true
+		}
+	}()
+	b.Handler.ServeHTTP(sc, req)
+	return false
 }
 
 // streamAffinity hashes a stream's query string (FNV-64a) so affinity
@@ -332,6 +557,10 @@ func (c *streamCapture) commit() {
 		c.WriteHeader(http.StatusOK)
 	}
 }
+
+// committed reports whether the attempt's header (and possibly frames)
+// already reached the client, past the failover point.
+func (c *streamCapture) committed() bool { return c.code != 0 && !c.failed }
 
 // Write implements http.ResponseWriter, flushing each frame through.
 func (c *streamCapture) Write(p []byte) (int, error) {

@@ -60,6 +60,23 @@ const (
 	// HTTPTimeout holds the affected requests for Delay and then fails
 	// them with a timeout-shaped error.
 	HTTPTimeout
+	// BackendKill crashes the targeted backend at tick At and restarts
+	// it Duration ticks later; a restarted backend recovers from its
+	// last snapshot, not from a blank slate. Fleet-topology kind,
+	// consumed by the fleet soak (internal/chaos.FleetSoak).
+	BackendKill
+	// Partition severs the LB↔backend link for the targeted backend:
+	// the backend stays alive (its feed keeps ticking) but every
+	// forwarded request errors until the partition heals.
+	Partition
+	// SlowClient attaches a stalled, slow-loris SSE subscriber to the
+	// targeted backend for the fault window; the stream fan-out must
+	// shed it (latest-wins) without stalling other subscribers.
+	SlowClient
+	// FeedGap withholds Duration consecutive feed deliveries from the
+	// targeted backend; the stream ingest must gap-fill and converge
+	// once delivery resumes.
+	FeedGap
 )
 
 // String implements fmt.Stringer.
@@ -81,6 +98,14 @@ func (k Kind) String() string {
 		return "http-error"
 	case HTTPTimeout:
 		return "http-timeout"
+	case BackendKill:
+		return "backend-kill"
+	case Partition:
+		return "partition"
+	case SlowClient:
+		return "slow-client"
+	case FeedGap:
+		return "feed-gap"
 	default:
 		return "unknown"
 	}
@@ -108,6 +133,10 @@ type Plan struct {
 	// Delay is the wall-clock component of Latency, Stall and
 	// HTTPTimeout faults.
 	Delay time.Duration
+	// Backend targets fleet-topology kinds (BackendKill, Partition,
+	// SlowClient, FeedGap) at one backend by fleet index; feed and HTTP
+	// kinds ignore it.
+	Backend int
 }
 
 // covers reports whether the plan is active at stream index i.
@@ -200,4 +229,52 @@ func RandomScenario(seed uint64, horizon int64, zones []string, stallDelay, late
 	}
 	sort.Slice(sc.Plans, func(i, j int) bool { return sc.Plans[i].At < sc.Plans[j].At })
 	return sc
+}
+
+// RandomFleetScenario draws a seeded fleet-topology fault schedule for
+// a soak of horizon feed ticks over a fleet of backends: two to four
+// plans drawn from the fleet taxonomy (BackendKill, Partition,
+// SlowClient, FeedGap), each targeting one backend. Fault windows never
+// overlap — one backend misbehaves at a time — so a correctly built
+// fleet always has a healthy majority and every client-visible failure
+// is attributable to exactly one plan. Windows also never touch the
+// first or final ticks: every backend starts clean and every fault
+// heals with enough horizon left to observe convergence. Equal
+// arguments return equal scenarios.
+func RandomFleetScenario(seed uint64, horizon int64, backends int) Scenario {
+	sc := Scenario{Seed: seed}
+	rng := sc.rng()
+	if backends < 1 {
+		backends = 1
+	}
+	if horizon < 16 {
+		horizon = 16
+	}
+	kinds := []Kind{BackendKill, Partition, SlowClient, FeedGap}
+	n := 2 + rng.IntN(3)
+	// Carve the usable middle of the horizon into n equal lanes and
+	// place one fault window inside each: disjointness by construction,
+	// with at least one clean tick between consecutive windows.
+	lo, hi := horizon/8, horizon-horizon/8
+	lane := (hi - lo) / int64(n)
+	for i := 0; i < n; i++ {
+		maxDur := max64(lane/2, 1)
+		dur := 1 + rng.Int64N(maxDur) // dur <= lane/2 < lane: window fits its lane
+		start := lo + int64(i)*lane + rng.Int64N(max64(lane-dur, 1))
+		sc.Plans = append(sc.Plans, Plan{
+			At:       start,
+			Kind:     kinds[rng.IntN(len(kinds))],
+			Duration: dur,
+			Backend:  rng.IntN(backends),
+		})
+	}
+	return sc
+}
+
+// max64 is max for int64 (pre-generics helper style used in this file).
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

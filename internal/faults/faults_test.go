@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"math"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -225,5 +226,44 @@ func TestKindString(t *testing.T) {
 	}
 	if Kind(99).String() != "unknown" {
 		t.Fatal("unknown kind misnamed")
+	}
+}
+
+// TestRandomFleetScenario pins the fleet schedule's structural
+// guarantees: determinism, valid backend targets, fleet-only kinds, and
+// pairwise-disjoint fault windows with clean head and tail ticks.
+func TestRandomFleetScenario(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		const horizon, backends = 96, 3
+		sc := RandomFleetScenario(seed, horizon, backends)
+		again := RandomFleetScenario(seed, horizon, backends)
+		if !reflect.DeepEqual(sc, again) {
+			t.Fatalf("seed %d: scenario not deterministic", seed)
+		}
+		if len(sc.Plans) < 2 || len(sc.Plans) > 4 {
+			t.Fatalf("seed %d: %d plans, want 2..4", seed, len(sc.Plans))
+		}
+		for i, p := range sc.Plans {
+			switch p.Kind {
+			case BackendKill, Partition, SlowClient, FeedGap:
+			default:
+				t.Fatalf("seed %d: non-fleet kind %v", seed, p.Kind)
+			}
+			if p.Backend < 0 || p.Backend >= backends {
+				t.Fatalf("seed %d: backend %d out of fleet", seed, p.Backend)
+			}
+			if p.Duration < 1 {
+				t.Fatalf("seed %d: duration %d", seed, p.Duration)
+			}
+			if p.At <= 0 || p.At+p.Duration >= horizon {
+				t.Fatalf("seed %d: window [%d,%d) touches the horizon edges", seed, p.At, p.At+p.Duration)
+			}
+			if i > 0 {
+				prev := sc.Plans[i-1]
+				if p.At < prev.At+prev.Duration {
+					t.Fatalf("seed %d: windows overlap: %+v then %+v", seed, prev, p)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,68 @@
+// Package leak is the repository's shared goroutine-leak checker: a
+// baseline-and-settle probe extracted from the chaos soak so every
+// suite that spins up servers, subscribers or fleets (internal/chaos,
+// internal/quote, internal/cluster) asserts the same invariant the
+// same way — after the exercise, the goroutine count settles back to
+// where it started.
+//
+// The check polls rather than sampling once because goroutine teardown
+// is asynchronous: handlers unwind after their connections close, and
+// the runtime's own helpers (timer goroutines, the race detector's
+// background work) come and go. A leak is only reported when the count
+// stays above the baseline for the full settle window.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// DefaultSettle is how long Check waits for the goroutine count to
+// drain back to the baseline before declaring a leak.
+const DefaultSettle = 2 * time.Second
+
+// Baseline captures the current goroutine count; take it before the
+// exercise under test starts anything.
+func Baseline() int { return runtime.NumGoroutine() }
+
+// Check polls until the goroutine count settles back to at most
+// baseline, returning an error naming the excess if it does not within
+// DefaultSettle.
+func Check(baseline int) error {
+	return CheckWithin(baseline, DefaultSettle)
+}
+
+// CheckWithin is Check with an explicit settle window.
+func CheckWithin(baseline int, settle time.Duration) error {
+	deadline := time.Now().Add(settle)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= baseline {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutine leak: %d running, baseline %d", n, baseline)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TB is the subset of testing.TB the test helper needs, declared
+// locally so the package stays importable from non-test code.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// CheckT is the test-suite form: it reports a leak as a test error.
+//
+//	defer leak.CheckT(t, leak.Baseline())
+func CheckT(t TB, baseline int) {
+	t.Helper()
+	if err := Check(baseline); err != nil {
+		t.Errorf("%v", err)
+	}
+}

@@ -43,7 +43,13 @@ func NewStreamingHandler(s *Service, st *Streamer) http.Handler {
 		}
 		body, status, err := s.Quote(r.Context(), req)
 		if err != nil {
-			writeError(w, errorCode(r.Context(), err), err)
+			code := errorCode(r.Context(), err)
+			if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+				// Back-pressure statuses tell the caller when to come
+				// back; the cluster router's retry budget honors this.
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, code, err)
 			return
 		}
 		obs.FromContext(r.Context()).SetAttr("cache", string(status))
@@ -59,6 +65,7 @@ func NewStreamingHandler(s *Service, st *Streamer) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if s.Degraded() {
+			w.Header().Set("Retry-After", "1")
 			w.WriteHeader(http.StatusServiceUnavailable)
 			w.Write([]byte("degraded: history source unavailable; serving stale plans\n"))
 			return
@@ -80,6 +87,8 @@ func errorCode(ctx context.Context, err error) int {
 	switch {
 	case errors.Is(err, ErrInvalidRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDegraded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrHistory):

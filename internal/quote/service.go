@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -39,6 +40,12 @@ const (
 // to 503.
 var ErrDegraded = errors.New("quote: degraded: history source unavailable and no stale plan cached")
 
+// ErrOverloaded reports that the evaluation gate is saturated and the
+// admission queue full; the HTTP layer maps it to 429 with Retry-After
+// so well-behaved clients (and the cluster router's retry budget) back
+// off instead of deepening the queue.
+var ErrOverloaded = errors.New("quote: overloaded: evaluation queue full")
+
 // Service computes ranked execution plans over a history source. Fields
 // are read at first use and must not change afterwards; the zero value
 // plus a Source is ready. A Service is safe for concurrent use.
@@ -59,11 +66,16 @@ type Service struct {
 	// Breaker. When it opens, requests skip the dead upstream and are
 	// answered from the last-known-good store.
 	Breaker *Breaker
+	// MaxQueue bounds how many evaluations may wait on a saturated
+	// Gate before further ones are refused with ErrOverloaded (HTTP
+	// 429). 0 keeps the historical behavior: wait without bound.
+	MaxQueue int
 
 	once    sync.Once
 	cache   *lruCache
 	stale   *lruCache // last-known-good bodies keyed by request only
 	flights flightGroup
+	waiters atomic.Int64 // evaluations blocked on the gate
 }
 
 // init lazily fills defaults; callers hold no lock, sync.Once
@@ -158,7 +170,7 @@ func (s *Service) Quote(ctx context.Context, req Request) ([]byte, CacheStatus, 
 	s.Metrics.CacheMisses.Add(1)
 
 	body, shared, err := s.flights.do(key, func() ([]byte, error) {
-		if err := s.Gate.Acquire(ctx); err != nil {
+		if err := s.acquireGate(ctx); err != nil {
 			return nil, err
 		}
 		defer s.Gate.Release()
@@ -190,6 +202,23 @@ func (s *Service) Quote(ctx context.Context, req Request) ([]byte, CacheStatus, 
 	s.stale.add(req.Key(), body)
 	s.Metrics.total.Observe(time.Since(start).Seconds())
 	return body, status, nil
+}
+
+// acquireGate admits one evaluation: immediately when the gate has a
+// slot, by waiting when the queue is shallow, with ErrOverloaded when
+// MaxQueue evaluations already wait. The waiter count is advisory — a
+// racing admission may briefly exceed the bound by one — which is fine
+// for load shedding; the gate itself stays the hard concurrency limit.
+func (s *Service) acquireGate(ctx context.Context) error {
+	if s.Gate.TryAcquire() {
+		return nil
+	}
+	if s.MaxQueue > 0 && s.waiters.Load() >= int64(s.MaxQueue) {
+		return ErrOverloaded
+	}
+	s.waiters.Add(1)
+	defer s.waiters.Add(-1)
+	return s.Gate.Acquire(ctx)
 }
 
 // serveStale answers a request from the last-known-good store when live

@@ -37,6 +37,9 @@ const (
 	DefaultStaleAfter = 90 * time.Second
 	// DefaultHeartbeat is the SSE keepalive cadence.
 	DefaultHeartbeat = 15 * time.Second
+	// DefaultCheckpointEvery is the tick cadence of streamer
+	// checkpoints when a snapshot Store is configured.
+	DefaultCheckpointEvery = 64
 )
 
 // ErrStreamCapacity reports that the streamer is at its distinct-shape
@@ -224,6 +227,13 @@ type StreamMetrics struct {
 	Subscribers obs.Gauge
 	// ShapeRejects counts subscriptions refused at the shape bound.
 	ShapeRejects obs.Counter
+	// Checkpoints counts snapshots written to the snapshot store.
+	Checkpoints obs.Counter
+	// CheckpointErrors counts snapshot-store writes that failed (the
+	// stream keeps serving; the previous checkpoint stands).
+	CheckpointErrors obs.Counter
+	// Restores counts successful crash-recovery restores.
+	Restores obs.Counter
 
 	push *obs.Histogram // publish-to-write plan-push latency
 }
@@ -240,6 +250,9 @@ func (m *Metrics) AttachStream() *StreamMetrics {
 	m.reg.Counter("quoted_stream_crosscheck_mismatches_total", &sm.CrossCheckMismatches)
 	m.reg.Gauge("quoted_stream_subscribers", &sm.Subscribers)
 	m.reg.Counter("quoted_stream_shape_rejects_total", &sm.ShapeRejects)
+	m.reg.Counter("quoted_stream_checkpoints_total", &sm.Checkpoints)
+	m.reg.Counter("quoted_stream_checkpoint_errors_total", &sm.CheckpointErrors)
+	m.reg.Counter("quoted_stream_restores_total", &sm.Restores)
 	m.reg.Histogram("quoted_latency_seconds", "stage", "plan_push", metricQuantiles, sm.push)
 	return sm
 }
@@ -337,6 +350,15 @@ type Streamer struct {
 	// evaluator (see core.StreamConfig).
 	CrossCheckEvery int
 	MaxSteps        int
+	// Heartbeat is the SSE keepalive cadence; 0 selects
+	// DefaultHeartbeat.
+	Heartbeat time.Duration
+	// Store, when set, receives a crash-recovery checkpoint every
+	// CheckpointEvery feed sequence numbers (see snapshot.go).
+	Store SnapshotStore
+	// CheckpointEvery is the checkpoint cadence in feed sequence
+	// numbers; 0 selects DefaultCheckpointEvery.
+	CheckpointEvery int
 
 	once    sync.Once
 	mu      sync.Mutex
@@ -368,6 +390,12 @@ func (st *Streamer) init() {
 		}
 		if st.StaleAfter <= 0 {
 			st.StaleAfter = DefaultStaleAfter
+		}
+		if st.Heartbeat <= 0 {
+			st.Heartbeat = DefaultHeartbeat
+		}
+		if st.CheckpointEvery <= 0 {
+			st.CheckpointEvery = DefaultCheckpointEvery
 		}
 		st.shapes = make(map[string]*streamShape)
 	})
@@ -414,6 +442,9 @@ func (st *Streamer) Ingest(seq uint64, prices []float64) error {
 	st.lastRow = append(st.lastRow[:0], prices...)
 	st.lastAt = time.Now()
 	st.tickLocked(st.lastRow)
+	if st.Store != nil && seq%uint64(st.CheckpointEvery) == 0 {
+		st.checkpointLocked()
+	}
 	return nil
 }
 
@@ -481,6 +512,25 @@ func (sh *streamShape) event(upd *core.StreamUpdate, stale bool) *StreamEvent {
 	return ev
 }
 
+// streamConfigLocked is the core evaluator shape of one subscription
+// request — shared by Subscribe and crash-recovery Restore so restored
+// evaluators resolve identically to freshly subscribed ones.
+func (st *Streamer) streamConfigLocked(req StreamRequest) core.StreamConfig {
+	return core.StreamConfig{
+		Zones:           st.Zones,
+		Start:           st.Start + int64(st.dropped)*st.Step,
+		Step:            st.Step,
+		Work:            int64(math.Round(req.WorkHours * float64(trace.Hour))),
+		Deadline:        int64(math.Round(req.DeadlineHours * float64(trace.Hour))),
+		CheckpointCost:  core.DefaultCheckpointCost,
+		RestartCost:     core.DefaultCheckpointCost,
+		OnDemandRate:    req.OnDemandPrice,
+		MaxZones:        req.MaxZones,
+		CrossCheckEvery: st.CrossCheckEvery,
+		MaxSteps:        st.MaxSteps,
+	}
+}
+
 // Subscribe registers for a shape's plan changes, creating (and
 // catching up, over the retained backlog) its resident evaluator on
 // first use. The returned subscription carries the shape's current
@@ -500,19 +550,7 @@ func (st *Streamer) Subscribe(req StreamRequest) (*StreamSub, error) {
 			st.Metrics.ShapeRejects.Inc()
 			return nil, ErrStreamCapacity
 		}
-		se, err := core.NewStreamEvaluator(st.Eval, core.StreamConfig{
-			Zones:           st.Zones,
-			Start:           st.Start + int64(st.dropped)*st.Step,
-			Step:            st.Step,
-			Work:            int64(math.Round(req.WorkHours * float64(trace.Hour))),
-			Deadline:        int64(math.Round(req.DeadlineHours * float64(trace.Hour))),
-			CheckpointCost:  core.DefaultCheckpointCost,
-			RestartCost:     core.DefaultCheckpointCost,
-			OnDemandRate:    req.OnDemandPrice,
-			MaxZones:        req.MaxZones,
-			CrossCheckEvery: st.CrossCheckEvery,
-			MaxSteps:        st.MaxSteps,
-		})
+		se, err := core.NewStreamEvaluator(st.Eval, st.streamConfigLocked(req))
 		if err != nil {
 			return nil, err
 		}

@@ -26,9 +26,23 @@ const (
 // as the shape's generation exceeds N (204 on timeout). Every response
 // carries X-Plan-Generation; X-Quote-Stale: true flags a stalled feed,
 // during which the last generation keeps serving.
+//
+// Reconnecting SSE clients resume with the standard Last-Event-ID
+// header (the id: field of every frame carries the generation) or an
+// explicit ?gen=N: events at or below that generation are suppressed,
+// and announced generations are floored at it, so across a disconnect
+// — even one that fails over to a backend whose evaluator is slightly
+// behind — the client-visible generation sequence stays monotonic. A
+// shape's generation is a deterministic function of the feed, so the
+// floor only suppresses tables the client has already seen.
 func registerStream(mux *http.ServeMux, st *Streamer) {
 	mux.HandleFunc("GET /v1/quotes/stream", func(w http.ResponseWriter, r *http.Request) {
 		req, err := ParseStreamRequest(r.URL.Query())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		since, err := resumeFloor(r)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -38,21 +52,43 @@ func registerStream(mux *http.ServeMux, st *Streamer) {
 			code := http.StatusBadRequest
 			if errors.Is(err, ErrStreamCapacity) {
 				code = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", "1")
 			}
 			writeError(w, code, err)
 			return
 		}
 		defer sub.Close()
 		if r.URL.Query().Get("mode") == "poll" {
-			st.servePoll(w, r, sub)
+			st.servePoll(w, r, sub, since)
 			return
 		}
-		st.serveSSE(w, r, sub)
+		st.serveSSE(w, r, sub, since)
 	})
 }
 
-// serveSSE pushes plan events until the client disconnects.
-func (st *Streamer) serveSSE(w http.ResponseWriter, r *http.Request, sub *StreamSub) {
+// resumeFloor reads the client's resume generation: the SSE standard
+// Last-Event-ID reconnect header when present (ignored if malformed —
+// it is advisory), otherwise the explicit ?gen=N parameter (a 400 when
+// malformed — the caller asked for something specific).
+func resumeFloor(r *http.Request) (uint64, error) {
+	if s := r.Header.Get("Last-Event-ID"); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			return v, nil
+		}
+	}
+	if s := r.URL.Query().Get("gen"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return 0, invalidf("gen: %v", err)
+		}
+		return v, nil
+	}
+	return 0, nil
+}
+
+// serveSSE pushes plan events until the client disconnects. since is
+// the resume floor: generations the client already holds.
+func (st *Streamer) serveSSE(w http.ResponseWriter, r *http.Request, sub *StreamSub, since uint64) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, errors.New("quote: response writer cannot stream"))
@@ -63,8 +99,8 @@ func (st *Streamer) serveSSE(w http.ResponseWriter, r *http.Request, sub *Stream
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
 	snap := sub.Snapshot()
-	var gen uint64
-	if snap != nil {
+	gen := since
+	if snap != nil && snap.Generation > gen {
 		gen = snap.Generation
 	}
 	h.Set("X-Plan-Generation", strconv.FormatUint(gen, 10))
@@ -73,26 +109,35 @@ func (st *Streamer) serveSSE(w http.ResponseWriter, r *http.Request, sub *Stream
 		h.Set("X-Quote-Stale", "true")
 	}
 	w.WriteHeader(http.StatusOK)
-	if snap != nil {
+	if snap != nil && snap.Generation > since {
 		ev := *snap
 		ev.Stale = stale
 		writeSSE(w, "plan", &ev)
 	}
 	fl.Flush()
-	hb := time.NewTicker(DefaultHeartbeat)
+	hb := time.NewTicker(st.Heartbeat)
 	defer hb.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
 		case ev := <-sub.Events():
+			if ev.Generation <= since {
+				continue // the client already holds this table
+			}
 			writeSSE(w, "plan", ev)
 			fl.Flush()
 			st.Metrics.ObservePush(time.Since(ev.born))
 		case <-hb.C:
 			// Heartbeats re-announce the last generation so a stalled
-			// feed is visible (stale flag) without new computation.
-			writeSSE(w, "heartbeat", &StreamEvent{Generation: st.Generation(sub), Stale: st.Stale()})
+			// feed is visible (stale flag) without new computation; the
+			// announcement is floored at the client's resume point so
+			// generations never appear to regress across reconnects.
+			g := st.Generation(sub)
+			if g < since {
+				g = since
+			}
+			writeSSE(w, "heartbeat", &StreamEvent{Generation: g, Stale: st.Stale()})
 			fl.Flush()
 		}
 	}
@@ -110,13 +155,8 @@ func writeSSE(w http.ResponseWriter, event string, ev *StreamEvent) {
 
 // servePoll answers one long-poll round: the newest event past the
 // client's generation, or 204 after the timeout.
-func (st *Streamer) servePoll(w http.ResponseWriter, r *http.Request, sub *StreamSub) {
+func (st *Streamer) servePoll(w http.ResponseWriter, r *http.Request, sub *StreamSub, since uint64) {
 	q := r.URL.Query()
-	since, err := strconv.ParseUint(q.Get("gen"), 10, 64)
-	if q.Get("gen") != "" && err != nil {
-		writeError(w, http.StatusBadRequest, invalidf("gen: %v", err))
-		return
-	}
 	timeout := defaultPollTimeout
 	if s := q.Get("timeout_ms"); s != "" {
 		ms, err := strconv.Atoi(s)

@@ -29,9 +29,15 @@
 # be at least 5x faster than the full re-rank — the point of streaming
 # quotes — or the script fails.
 #
-# Usage: scripts/bench.sh [obs-output] [batch-output] [cluster-output] [stream-output]
+# The fleet chaos soak (chaossim -fleet) runs last and writes its
+# aggregate recovery accounting — kills, restores, catch-up ticks per
+# restore — to BENCH_chaos_fleet.json; the soak process enforces its
+# own gates (zero client errors, snapshot resume, determinism), so a
+# violated fleet invariant fails this script too.
+#
+# Usage: scripts/bench.sh [obs-output] [batch-output] [cluster-output] [stream-output] [fleet-output]
 #        (defaults BENCH_obs.json, BENCH_batch.json, BENCH_cluster.json,
-#        BENCH_stream.json)
+#        BENCH_stream.json, BENCH_chaos_fleet.json)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -39,6 +45,7 @@ out=${1:-BENCH_obs.json}
 batchout=${2:-BENCH_batch.json}
 clusterout=${3:-BENCH_cluster.json}
 streamout=${4:-BENCH_stream.json}
+fleetout=${5:-BENCH_chaos_fleet.json}
 count=${BENCH_COUNT:-3}
 clients=${BENCH_CLIENTS:-50}
 duration=${BENCH_DURATION:-3s}
@@ -221,3 +228,8 @@ END {
 ' "$tmp" >"$streamout"
 
 echo "bench: wrote $streamout" >&2
+
+echo "bench: chaossim -fleet" >&2
+go run ./cmd/chaossim -fleet -runs "${BENCH_FLEET_RUNS:-20}" -seed 1 -json >"$fleetout"
+
+echo "bench: wrote $fleetout" >&2

@@ -9,7 +9,11 @@
 # reproducibility of the figures, and byte-identical plan serving. The soak replays the live pipeline
 # through 20 seeded fault scenarios and fails on a missed deadline
 # without fallback, ledger inconsistency, goroutine leaks or
-# nondeterminism.
+# nondeterminism. A second, fleet-scale soak drives quotelb over three
+# in-process quoted backends (race detector on) through seeded backend
+# kills, partitions, slow clients and feed gaps, asserting zero
+# client-visible errors, monotonic stream generations, snapshot resume
+# and per-seed determinism.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,3 +31,7 @@ go test -run '^$' -fuzz '^FuzzRowParser$' -fuzztime 5s ./internal/livesched
 go test -run '^$' -fuzz '^FuzzBatchedMeasure$' -fuzztime 5s ./internal/core
 go test -run '^$' -fuzz '^FuzzBidIndexAppend$' -fuzztime 5s ./internal/trace
 go run ./cmd/chaossim -runs 20 -seed 1
+# Fleet-topology soak: quotelb over 3 in-process quoted backends under
+# 20 seeded fleet fault scenarios (kill/restart with snapshot resume,
+# partitions, slow-loris subscribers, feed gaps), each replayed twice.
+go run -race ./cmd/chaossim -fleet -runs 20 -seed 1 -backends 3 -ticks 64
