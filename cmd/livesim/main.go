@@ -10,6 +10,12 @@
 //	livesim -preset high -policy adaptive -speedup 6000
 //	livesim -serve -preset low -policy markov-daly
 //	livesim -chaos 7 -watchdog 100ms -speedup 6000
+//
+// With -policy adaptive, -decisions prints the recorded decision trail
+// (chosen permutation and rival count per decision point) after the
+// run, and -regret K replays the scenario offline, forcing the top-K
+// rivals of every decision through the simulator and printing the
+// realized-regret table.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/decision"
 	"repro/internal/faults"
 	"repro/internal/livesched"
 	"repro/internal/market"
@@ -50,7 +57,16 @@ func main() {
 	watchdog := flag.Duration("watchdog", 0, "feed watchdog gap: a sample gap past this drives the run to the on-demand fallback (0 disables)")
 	chaos := flag.Uint64("chaos", 0, "inject a seeded fault scenario (stalls, drops, corruption, blackouts) into the feed; 0 disables")
 	spans := flag.Int("spans", 0, "record simulated-time spans (run, guard, fallback, decisions) into a ring of this size and print them after the run (0: disabled)")
+	decisions := flag.Bool("decisions", false, "record and print the adaptive decision trail (adaptive policy only)")
+	regretK := flag.Int("regret", 0, "after the run, replay the scenario offline forcing the top-K rivals of every decision and print the regret table (adaptive policy only; 0: disabled)")
 	flag.Parse()
+
+	if (*decisions || *regretK > 0) && *policy != "adaptive" {
+		log.Fatal("-decisions and -regret need -policy adaptive")
+	}
+	if *regretK > 0 && *chaos != 0 {
+		log.Fatal("-regret replays the feed offline; it cannot reproduce -chaos fault injection")
+	}
 
 	var tracer *obs.Tracer
 	if *spans > 0 {
@@ -82,9 +98,14 @@ func main() {
 		run = fetched
 	}
 
-	strat, err := buildStrategy(*policy, *bid, *n, run.NumZones(), tracer, *batched)
+	strat, adaptive, err := buildStrategy(*policy, *bid, *n, run.NumZones(), tracer, *batched)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var trail *decision.Collector
+	if *decisions && adaptive != nil {
+		trail = &decision.Collector{}
+		adaptive.Sink = trail
 	}
 
 	var interval time.Duration
@@ -134,6 +155,57 @@ func main() {
 	if tracer != nil {
 		printSpans(tracer)
 	}
+	if trail != nil {
+		printDecisions(trail.Records())
+	}
+	if *regretK > 0 {
+		cfg := sim.Config{
+			Trace:          run,
+			History:        history,
+			Work:           work,
+			Deadline:       deadline,
+			CheckpointCost: 300,
+			RestartCost:    300,
+			Delay:          market.DefaultDelay(),
+			Seed:           *seed,
+		}
+		if err := printRegret(cfg, *regretK); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printDecisions dumps the recorded decision trail, one line per
+// decision point.
+func printDecisions(recs []decision.Record) {
+	fmt.Printf("\ndecisions: %d recorded\n", len(recs))
+	for _, r := range recs {
+		mark := " "
+		if r.Switched {
+			mark = "*"
+		}
+		fmt.Printf("  [%6.2fh] %-13s %s bid=%.2f n=%d %-12s (predicted $%.2f, %d rivals)\n",
+			float64(r.Time)/float64(trace.Hour), r.Trigger, mark,
+			r.Chosen.Bid, len(r.Chosen.Zones), r.Chosen.Policy, r.Chosen.Cost, len(r.Ranked))
+	}
+}
+
+// printRegret replays the scenario offline — same trace, history, seed
+// and delay model as the live run — records the baseline decision
+// trail, forces the top-k rivals of every decision through the
+// simulator, and prints the realized-regret table.
+func printRegret(cfg sim.Config, topK int) error {
+	r := &decision.Replayer{Cfg: cfg, TopK: topK}
+	baseline, dlog, err := r.Baseline()
+	if err != nil {
+		return err
+	}
+	rep, err := r.Replay(baseline, dlog)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nregret: offline replay, top-%d rivals per decision\n\n", topK)
+	return rep.WriteTable(os.Stdout)
 }
 
 // printSpans dumps the recorded span trail, oldest first, with
@@ -178,14 +250,16 @@ func buildSet(preset string, seed uint64) (*trace.Set, error) {
 	}
 }
 
-func buildStrategy(policy string, bid float64, n, zones int, tracer *obs.Tracer, batched bool) (sim.Strategy, error) {
+// buildStrategy resolves the policy flag; for "adaptive" it also
+// returns the strategy instance so callers can attach a decision sink.
+func buildStrategy(policy string, bid float64, n, zones int, tracer *obs.Tracer, batched bool) (sim.Strategy, *core.Adaptive, error) {
 	if policy == "adaptive" {
 		a := core.NewAdaptive()
 		a.Eval = &core.Evaluator{Trace: tracer, DisableBatch: !batched}
-		return a, nil
+		return a, a, nil
 	}
 	if n < 1 || n > zones {
-		return nil, fmt.Errorf("n must be in 1..%d", zones)
+		return nil, nil, fmt.Errorf("n must be in 1..%d", zones)
 	}
 	zoneIdx := make([]int, n)
 	for i := range zoneIdx {
@@ -202,10 +276,10 @@ func buildStrategy(policy string, bid float64, n, zones int, tracer *obs.Tracer,
 	case "threshold":
 		p = core.NewThreshold()
 	default:
-		return nil, fmt.Errorf("unknown policy %q", policy)
+		return nil, nil, fmt.Errorf("unknown policy %q", policy)
 	}
 	if n == 1 {
-		return core.SingleZone(p, bid, 0), nil
+		return core.SingleZone(p, bid, 0), nil, nil
 	}
-	return core.Redundant(p, bid, zoneIdx), nil
+	return core.Redundant(p, bid, zoneIdx), nil, nil
 }

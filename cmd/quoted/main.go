@@ -30,9 +30,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"strings"
 	"sync"
@@ -41,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/decision"
 	"repro/internal/httpx"
 	"repro/internal/obs"
 	"repro/internal/pool"
@@ -74,6 +77,8 @@ func main() {
 	heartbeat := flag.Duration("stream-heartbeat", quote.DefaultHeartbeat, "SSE keepalive cadence")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceSpans := flag.Int("trace-spans", 0, "trace request/evaluation spans into a ring of this size, served at /debug/trace (0: disabled)")
+	decisions := flag.Int("decisions", 0, "record ranking decisions into a ring of this size, served at /debug/decisions (0: disabled)")
+	decisionLog := flag.String("decision-log", "", "also append every recorded decision to this JSON-lines file (implies -decisions)")
 	flag.Parse()
 
 	var tracer *obs.Tracer
@@ -104,6 +109,24 @@ func main() {
 		}
 		presetSet = set
 		source = &quote.StaticSource{Set: set}
+	}
+
+	// Decision recording: every /v1/quote ranking emits one decision
+	// point (the chosen plan plus all ranked rivals) into a bounded ring
+	// served at /debug/decisions, optionally mirrored to an append-only
+	// JSON-lines file for offline counterfactual replay.
+	var dlog *decision.Log
+	if *decisions > 0 || *decisionLog != "" {
+		var w io.Writer
+		if *decisionLog != "" {
+			f, err := os.OpenFile(*decisionLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("opening decision log: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		dlog = decision.NewLog(*decisions, w)
 	}
 
 	svc := &quote.Service{
@@ -154,6 +177,10 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", httpx.Wrap(quote.NewStreamingHandler(svc, streamer), tracer))
 	obs.Mount(mux, tracer, *pprofOn)
+	if dlog != nil {
+		svc.Eval.Sink = dlog
+		mux.Handle("GET /debug/decisions", dlog.Handler())
+	}
 	handler := http.Handler(mux)
 
 	if *selfbench > 0 {

@@ -66,8 +66,29 @@ type Adaptive struct {
 	// nil selects a default evaluator with GOMAXPROCS workers. Results
 	// are independent of the worker count.
 	Eval *Evaluator
+	// Headroom is the near-tie band as a fraction of the least predicted
+	// cost: among candidates within (1+Headroom) of the minimum the
+	// strategy prefers bid headroom, then fewer zones. 0 selects the
+	// default 0.03. It is one of the hyperparameters cmd/policytune
+	// searches over.
+	Headroom float64
+	// Churn is the incumbent-retention tolerance: the current
+	// configuration is kept while it predicts within (1+Churn) of the
+	// best candidate, damping switch churn from estimation noise. 0
+	// selects the default 0.02. Searched by cmd/policytune.
+	Churn float64
+	// Sink, when non-nil, receives one DecisionPoint per decision with
+	// the chosen permutation and the full ranked rival grid. The point's
+	// slices alias per-decision scratch; the sink must copy what it
+	// keeps. Nil costs nothing.
+	Sink DecisionSink
 
 	chosen sim.RunSpec
+	decSeq int
+
+	// rankBuf is the reusable best-first alternative list handed to
+	// Sink; valid only during the RecordDecision call.
+	rankBuf []DecisionAlt
 
 	// Per-decision scratch, reused across decision points: the scored
 	// candidate grid, the measurement specs handed to the evaluator, and
@@ -96,7 +117,8 @@ func (a *Adaptive) Name() string { return "adaptive" }
 // preceding the experiment (the paper primes with 2 days) and pick the
 // initial permutation.
 func (a *Adaptive) Begin(env *sim.Env) sim.RunSpec {
-	a.chosen = a.pick(env)
+	a.decSeq = 0
+	a.chosen = a.pick(env, TriggerBegin)
 	return a.chosen
 }
 
@@ -114,12 +136,23 @@ func (a *Adaptive) Reconsider(env *sim.Env, events []sim.Event) (sim.RunSpec, bo
 			return sim.RunSpec{}, false
 		}
 	}
-	spec := a.pick(env)
+	spec := a.pick(env, triggerFor(events))
 	if spec.Equal(a.chosen) {
 		return sim.RunSpec{}, false
 	}
 	a.chosen = spec
 	return spec, true
+}
+
+// triggerFor labels a decision point by its events: a provider kill
+// dominates a coincident hour boundary, matching the paper's triggers.
+func triggerFor(events []sim.Event) string {
+	for _, ev := range events {
+		if ev.Kind == sim.ProviderKill {
+			return TriggerProviderKill
+		}
+	}
+	return TriggerHourBoundary
 }
 
 func (a *Adaptive) bids() []float64 {
@@ -152,6 +185,20 @@ func (a *Adaptive) window() int64 {
 		return a.EstimationWindow
 	}
 	return 12 * trace.Hour
+}
+
+func (a *Adaptive) headroom() float64 {
+	if a.Headroom > 0 {
+		return a.Headroom
+	}
+	return 0.03
+}
+
+func (a *Adaptive) churn() float64 {
+	if a.Churn > 0 {
+		return a.Churn
+	}
+	return 0.02
 }
 
 // zonesByPrice returns all zone indices ordered by current price,
@@ -372,11 +419,17 @@ func withSharedCache(p sim.CheckpointPolicy, cache *PredictorCache) sim.Checkpoi
 }
 
 // pick evaluates every permutation and returns the least-predicted-cost
-// spec, tracing the decision with its chosen (bid, n, policy).
-func (a *Adaptive) pick(env *sim.Env) sim.RunSpec {
+// spec, tracing the decision with its chosen (bid, n, policy) and, when
+// a Sink is attached, recording the full decision point (chosen plus
+// every ranked rival) on the same adaptive.decision span path.
+func (a *Adaptive) pick(env *sim.Env, trigger string) sim.RunSpec {
 	span := a.evaluator().Trace.Start("adaptive.decision")
-	spec := a.pickSpec(env)
+	spec, cands, chosenCost := a.pickSpec(env)
+	if a.Sink != nil {
+		a.recordDecision(env, trigger, spec, cands, chosenCost)
+	}
 	if span.Recording() {
+		span.SetAttr("trigger", trigger)
 		span.SetAttr("bid", strconv.FormatFloat(spec.Bid, 'g', -1, 64))
 		span.SetAttr("zones", strconv.Itoa(len(spec.Zones)))
 		if spec.Policy != nil {
@@ -388,8 +441,58 @@ func (a *Adaptive) pick(env *sim.Env) sim.RunSpec {
 	return spec
 }
 
-// pickSpec is pick's decision body.
-func (a *Adaptive) pickSpec(env *sim.Env) sim.RunSpec {
+// recordDecision hands the decision point to the sink: the candidates
+// are sorted best-first into the reusable rankBuf (the scoring grid is
+// per-decision scratch, so reordering it after selection is safe) and
+// the chosen spec is captured with the cost the selection actually
+// compared (the incumbent's re-evaluated cost when churn damping kept
+// it). Switched is computed against the pre-decision incumbent exactly
+// as Reconsider will: spec identity via RunSpec.Equal.
+func (a *Adaptive) recordDecision(env *sim.Env, trigger string, spec sim.RunSpec, cands []candidate, chosenCost float64) {
+	sort.Slice(cands, func(x, y int) bool {
+		cx, cy := &cands[x], &cands[y]
+		if cx.cost != cy.cost {
+			return cx.cost < cy.cost
+		}
+		if cx.spec.Bid != cy.spec.Bid {
+			return cx.spec.Bid > cy.spec.Bid
+		}
+		if cx.n != cy.n {
+			return cx.n < cy.n
+		}
+		return cx.kind < cy.kind
+	})
+	buf := a.rankBuf[:0]
+	for i := range cands {
+		c := &cands[i]
+		buf = append(buf, DecisionAlt{
+			Bid:    c.spec.Bid,
+			Zones:  c.spec.Zones,
+			Policy: c.kind,
+			Cost:   sanitizeCost(c.cost),
+		})
+	}
+	a.rankBuf = buf
+	policy := ""
+	if spec.Policy != nil {
+		policy = spec.Policy.Name()
+	}
+	p := DecisionPoint{
+		Seq:      a.decSeq,
+		Time:     env.Now,
+		Trigger:  trigger,
+		Switched: !spec.Equal(a.chosen),
+		Chosen:   DecisionAlt{Bid: spec.Bid, Zones: spec.Zones, Policy: policy, Cost: sanitizeCost(chosenCost)},
+		Ranked:   buf,
+	}
+	a.decSeq++
+	a.Sink.RecordDecision(p)
+}
+
+// pickSpec is pick's decision body. It returns the selected spec, the
+// scored candidate grid (per-decision scratch) and the predicted cost
+// the selection compared for the chosen spec.
+func (a *Adaptive) pickSpec(env *sim.Env) (sim.RunSpec, []candidate, float64) {
 	hist := historySet(env, a.window())
 	ordered := zonesByPrice(env)
 	cr := env.RemainingWork()
@@ -416,7 +519,7 @@ func (a *Adaptive) pickSpec(env *sim.Env) sim.RunSpec {
 	// and then fewer zones.
 	for i := range cands {
 		c := &cands[i]
-		if c.cost > minCost*1.03+1e-9 {
+		if c.cost > minCost*(1+a.headroom())+1e-9 {
 			continue
 		}
 		if best == nil ||
@@ -429,14 +532,15 @@ func (a *Adaptive) pickSpec(env *sim.Env) sim.RunSpec {
 		// No history at all: fall back to single-zone Periodic at the
 		// median bid.
 		bids := a.bids()
-		return sim.RunSpec{Bid: bids[len(bids)/2], Zones: []int{ordered[0]}, Policy: NewPeriodic()}
+		fallback := sim.RunSpec{Bid: bids[len(bids)/2], Zones: []int{ordered[0]}, Policy: NewPeriodic()}
+		return fallback, cands, math.Inf(1)
 	}
 	// Keep the current configuration when it predicts within a hair of
 	// the best, avoiding churn from estimation noise.
 	if len(a.chosen.Zones) > 0 && !best.spec.Equal(a.chosen) {
 		cur := a.evalSpec(env, hist, a.chosen, cr, tr, migration, cache)
-		if cur <= best.cost*1.02 {
-			return a.chosen
+		if cur <= best.cost*(1+a.churn()) {
+			return a.chosen, cands, cur
 		}
 	}
 	if best.spec.Policy == nil {
@@ -444,7 +548,7 @@ func (a *Adaptive) pickSpec(env *sim.Env) sim.RunSpec {
 		// (the scoring grid never runs it); build it now.
 		best.spec.Policy = a.policyFor(best.kind)
 	}
-	return best.spec
+	return best.spec, cands, best.cost
 }
 
 // policyFor builds a fresh policy instance of the named family.

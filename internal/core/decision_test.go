@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tracegen"
+)
+
+// capturedPoint is a deep copy of one DecisionPoint; the producer's
+// Ranked and Zones slices alias reused scratch, so the sink must copy.
+type capturedPoint struct {
+	Seq      int
+	Time     int64
+	Trigger  string
+	Switched bool
+	Chosen   DecisionAlt
+	Ranked   []DecisionAlt
+}
+
+// captureSink deep-copies every decision it receives.
+type captureSink struct {
+	points []capturedPoint
+}
+
+func copyTestAlt(a DecisionAlt) DecisionAlt {
+	a.Zones = append([]int(nil), a.Zones...)
+	return a
+}
+
+func (c *captureSink) RecordDecision(p DecisionPoint) {
+	cp := capturedPoint{Seq: p.Seq, Time: p.Time, Trigger: p.Trigger, Switched: p.Switched, Chosen: copyTestAlt(p.Chosen)}
+	for _, a := range p.Ranked {
+		cp.Ranked = append(cp.Ranked, copyTestAlt(a))
+	}
+	c.points = append(c.points, cp)
+}
+
+func altsSameChoice(a, b DecisionAlt) bool {
+	if a.Bid != b.Bid || a.Policy != b.Policy || len(a.Zones) != len(b.Zones) {
+		return false
+	}
+	for i := range a.Zones {
+		if a.Zones[i] != b.Zones[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAdaptiveRecordsDecisions runs the Adaptive strategy with a sink
+// attached and checks the shape of the decision trail: contiguous
+// sequence numbers, a "begin" first trigger, nondecreasing timestamps,
+// cost-sorted rivals with finite sanitized costs, and the chosen
+// alternative present among them with Switched reflecting actual spec
+// changes.
+func TestAdaptiveRecordsDecisions(t *testing.T) {
+	hist, run := window(tracegen.HighVolatility(31), 5, 2)
+	cfg := testConfig(hist, run, 300)
+	a := NewAdaptive()
+	sink := &captureSink{}
+	a.Sink = sink
+	res, err := sim.Run(cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	if len(sink.points) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	first := sink.points[0]
+	if first.Seq != 0 || first.Trigger != TriggerBegin || !first.Switched {
+		t.Fatalf("first decision: %+v, want seq 0 / trigger %q / switched", first, TriggerBegin)
+	}
+	var prev capturedPoint
+	for i, p := range sink.points {
+		if p.Seq != i {
+			t.Fatalf("decision %d has seq %d, want contiguous", i, p.Seq)
+		}
+		if i > 0 && p.Time < prev.Time {
+			t.Fatalf("decision %d time %d before previous %d", i, p.Time, prev.Time)
+		}
+		switch p.Trigger {
+		case TriggerBegin, TriggerProviderKill, TriggerHourBoundary:
+		default:
+			t.Fatalf("decision %d has unknown trigger %q", i, p.Trigger)
+		}
+		if math.IsNaN(p.Chosen.Cost) || math.IsInf(p.Chosen.Cost, 0) {
+			t.Fatalf("decision %d chosen cost not sanitized: %g", i, p.Chosen.Cost)
+		}
+		for j := 1; j < len(p.Ranked); j++ {
+			if p.Ranked[j].Cost < p.Ranked[j-1].Cost {
+				t.Fatalf("decision %d ranked out of order at %d: %g < %g",
+					i, j, p.Ranked[j].Cost, p.Ranked[j-1].Cost)
+			}
+		}
+		for j, r := range p.Ranked {
+			if math.IsNaN(r.Cost) || math.IsInf(r.Cost, 0) {
+				t.Fatalf("decision %d rival %d cost not sanitized: %g", i, j, r.Cost)
+			}
+		}
+		// A non-switch must re-affirm the previous choice verbatim.
+		if i > 0 && !p.Switched && !altsSameChoice(p.Chosen, prev.Chosen) {
+			t.Fatalf("decision %d not switched but choice changed: %+v -> %+v", i, prev.Chosen, p.Chosen)
+		}
+		prev = p
+	}
+}
+
+// TestAdaptiveDecisionTrailDeterministic runs the same configuration
+// twice and requires identical trails — the recorder must not perturb
+// the simulation and must itself be deterministic.
+func TestAdaptiveDecisionTrailDeterministic(t *testing.T) {
+	hist, run := window(tracegen.LowVolatilityWithMegaSpike(19), 5, 2)
+	cfg := testConfig(hist, run, 300)
+	trail := func() ([]capturedPoint, float64) {
+		a := NewAdaptive()
+		sink := &captureSink{}
+		a.Sink = sink
+		res, err := sim.Run(cfg, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sink.points, res.Cost
+	}
+	p1, c1 := trail()
+	p2, c2 := trail()
+	if c1 != c2 {
+		t.Fatalf("costs differ across identical runs: %g vs %g", c1, c2)
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("trail lengths differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		a, b := p1[i], p2[i]
+		if a.Seq != b.Seq || a.Time != b.Time || a.Trigger != b.Trigger || a.Switched != b.Switched ||
+			!altsSameChoice(a.Chosen, b.Chosen) || len(a.Ranked) != len(b.Ranked) {
+			t.Fatalf("decision %d differs:\n%+v\n%+v", i, a, b)
+		}
+		for j := range a.Ranked {
+			if !altsSameChoice(a.Ranked[j], b.Ranked[j]) || a.Ranked[j].Cost != b.Ranked[j].Cost {
+				t.Fatalf("decision %d rival %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestAdaptiveSinkDoesNotPerturbRun checks the recorder is a pure
+// observer: the run's result must be identical with and without a sink.
+func TestAdaptiveSinkDoesNotPerturbRun(t *testing.T) {
+	hist, run := window(tracegen.HighVolatility(23), 5, 2)
+	cfg := testConfig(hist, run, 300)
+	bare, err := sim.Run(cfg, NewAdaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdaptive()
+	a.Sink = &captureSink{}
+	sunk, err := sim.Run(cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Cost != sunk.Cost || bare.FinishTime != sunk.FinishTime || bare.SpecSwitches != sunk.SpecSwitches {
+		t.Fatalf("sink perturbed the run: %+v vs %+v", bare, sunk)
+	}
+}
+
+// TestEvaluatorRankEmitsDecision checks the quote-path sink: one Rank
+// call emits exactly one decision with trigger "rank", an unassigned
+// sequence, and the full cost-ordered plan list as rivals.
+func TestEvaluatorRankEmitsDecision(t *testing.T) {
+	hist := estimationHistory(17)
+	ev := NewEvaluator()
+	sink := &captureSink{}
+	ev.Sink = sink
+	plans, err := ev.Rank(planRequest(hist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.points) != 1 {
+		t.Fatalf("Rank emitted %d decisions, want 1", len(sink.points))
+	}
+	p := sink.points[0]
+	if p.Trigger != TriggerRank || p.Seq != -1 || p.Switched {
+		t.Fatalf("rank decision shape: %+v", p)
+	}
+	if p.Time != hist.End() {
+		t.Fatalf("rank decision time %d, want history end %d", p.Time, hist.End())
+	}
+	if len(p.Ranked) != len(plans) {
+		t.Fatalf("rank decision has %d rivals, want %d plans", len(p.Ranked), len(plans))
+	}
+	if !altsSameChoice(p.Chosen, p.Ranked[0]) {
+		t.Fatalf("rank chosen %+v is not the top plan %+v", p.Chosen, p.Ranked[0])
+	}
+	for i := range plans {
+		if p.Ranked[i].Bid != plans[i].Bid || p.Ranked[i].Policy != plans[i].Policy ||
+			len(p.Ranked[i].Zones) != len(plans[i].Zones) {
+			t.Fatalf("rival %d does not mirror plan: %+v vs %+v", i, p.Ranked[i], plans[i])
+		}
+	}
+}

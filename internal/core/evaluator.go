@@ -35,6 +35,11 @@ type Evaluator struct {
 	// so this is an escape hatch for debugging and for the paired
 	// oracle-vs-batched benchmarks, not a semantic switch.
 	DisableBatch bool
+	// Sink, when non-nil, receives one DecisionPoint per Rank call
+	// (trigger "rank", Seq -1 so the sink assigns the sequence) carrying
+	// the best plan and the full ranked grid. This is how quoted exposes
+	// its planning decisions on /debug/decisions. Nil costs nothing.
+	Sink DecisionSink
 
 	// batchPool recycles batched-sweep scratch (columnar views,
 	// availability indexes, flat permutation state) across decision

@@ -254,5 +254,39 @@ func (ev *Evaluator) Rank(req PlanRequest) ([]Plan, error) {
 		specs[i] = sim.RunSpec{Bid: sl.bid, Zones: sl.zones, Policy: withSharedCache(cands[sl.fac].New(), cache)}
 	}
 	ests := ev.MeasureAll(req.History, specs, req.CheckpointCost, req.RestartCost)
-	return scorePlans(&req, odRate, slots, ests), nil
+	plans := scorePlans(&req, odRate, slots, ests)
+	if ev.Sink != nil && len(plans) > 0 {
+		ev.Sink.RecordDecision(rankDecision(req.History, plans))
+	}
+	return plans, nil
+}
+
+// rankDecision converts a ranked plan table into the decision-point
+// shape shared with the Adaptive strategy: the best plan as the chosen
+// permutation and the whole table as the ranked rivals, with plan zone
+// names mapped back to the history's zone indices. Seq is -1 (the sink
+// assigns it) and Time is the end of the history window the plans were
+// scored over.
+func rankDecision(hist *trace.Set, plans []Plan) DecisionPoint {
+	byName := make(map[string]int, hist.NumZones())
+	for i, name := range hist.Zones() {
+		byName[name] = i
+	}
+	alts := make([]DecisionAlt, len(plans))
+	for i := range plans {
+		p := &plans[i]
+		zones := make([]int, len(p.Zones))
+		for j, name := range p.Zones {
+			zones[j] = byName[name]
+		}
+		alts[i] = DecisionAlt{Bid: p.Bid, Zones: zones, Policy: p.Policy, Cost: sanitizeCost(p.PredictedCost)}
+	}
+	return DecisionPoint{
+		Seq:      -1,
+		Time:     hist.End(),
+		Trigger:  TriggerRank,
+		Switched: false,
+		Chosen:   alts[0],
+		Ranked:   alts,
+	}
 }

@@ -1,0 +1,181 @@
+// Package decision closes the loop from observability to policy
+// improvement for the paper's §7 Adaptive scheme. It has three layers:
+//
+//   - recording: a DecisionSink implementation (Log, Collector) captures
+//     every Adaptive decision — the chosen (bid, zones, policy)
+//     permutation plus the predicted costs of all ranked rivals — into
+//     an append-only, seed-deterministic decision log (JSON-lines on
+//     disk, in-memory ring over HTTP via /debug/decisions on quoted);
+//   - counterfactual replay: Replayer re-runs the same trace pinning the
+//     recorded prefix and forcing each top-k rival decision through the
+//     batched evaluator, and reports the realized regret per decision
+//     point. Forced-choice replays are bit-identical to a from-scratch
+//     sim.Machine oracle run with the same choices pinned, which the
+//     differential test suite asserts cell by cell;
+//   - tuning: Tuner searches the Adaptive hyperparameter space (bid
+//     grid, history window, headroom/churn thresholds, redundancy
+//     bound) with a grid stage plus a seeded evolutionary stage against
+//     a weighted multi-objective fitness (cost, deadline margin,
+//     checkpoint waste), parallelized on internal/pool and
+//     checkpointable so a killed search resumes deterministically.
+package decision
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Alt is the serialized form of one ranked permutation: bid, zone
+// indices, policy family and the Inequality (1) predicted remaining
+// cost in dollars.
+type Alt struct {
+	// Bid is the permutation's bid in dollars per hour.
+	Bid float64 `json:"bid"`
+	// Zones holds trace zone indices, ascending.
+	Zones []int `json:"zones,omitempty"`
+	// Policy names the checkpoint policy family.
+	Policy string `json:"policy"`
+	// Cost is the predicted remaining cost in dollars.
+	Cost float64 `json:"cost"`
+}
+
+// Record is one decision-log entry: the serialized, deep-copied form of
+// a core.DecisionPoint. Records are seed-deterministic: replaying the
+// same configuration yields a byte-identical log.
+type Record struct {
+	// Seq numbers the decision within its run, starting at 0.
+	Seq int `json:"seq"`
+	// Time is the absolute simulation time of the decision.
+	Time int64 `json:"time"`
+	// Trigger is one of the core.Trigger constants.
+	Trigger string `json:"trigger"`
+	// Switched reports whether the decision changed the running spec.
+	Switched bool `json:"switched"`
+	// Chosen is the permutation the decision installed or kept.
+	Chosen Alt `json:"chosen"`
+	// Ranked is the full scored rival grid, best-first; empty for
+	// pinned replay decisions.
+	Ranked []Alt `json:"ranked,omitempty"`
+}
+
+// copyAlt deep-copies a core alternative into dst, reusing dst's zone
+// slice backing when it has capacity (the ring log's steady state
+// allocates nothing).
+func copyAlt(dst *Alt, src core.DecisionAlt) {
+	zones := dst.Zones[:0]
+	zones = append(zones, src.Zones...)
+	if len(src.Zones) == 0 {
+		zones = nil
+	}
+	*dst = Alt{Bid: src.Bid, Zones: zones, Policy: src.Policy, Cost: src.Cost}
+}
+
+// copyPoint deep-copies a decision point into dst under the final
+// sequence number, reusing dst's slice backings.
+func copyPoint(dst *Record, p core.DecisionPoint, seq int) {
+	ranked := dst.Ranked
+	if cap(ranked) < len(p.Ranked) {
+		grown := make([]Alt, len(p.Ranked))
+		copy(grown, ranked[:cap(ranked)])
+		ranked = grown
+	} else {
+		ranked = ranked[:len(p.Ranked)]
+	}
+	for i := range p.Ranked {
+		copyAlt(&ranked[i], p.Ranked[i])
+	}
+	if len(p.Ranked) == 0 {
+		ranked = nil
+	}
+	chosen := dst.Chosen
+	copyAlt(&chosen, p.Chosen)
+	*dst = Record{
+		Seq:      seq,
+		Time:     p.Time,
+		Trigger:  p.Trigger,
+		Switched: p.Switched,
+		Chosen:   chosen,
+		Ranked:   ranked,
+	}
+}
+
+// Collector is the unbounded DecisionSink the replayer and the tests
+// use: it appends a deep copy of every decision point in order. Safe
+// for concurrent use.
+type Collector struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// RecordDecision implements core.DecisionSink.
+func (c *Collector) RecordDecision(p core.DecisionPoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq := p.Seq
+	if seq < 0 {
+		seq = len(c.recs)
+	}
+	var rec Record
+	copyPoint(&rec, p, seq)
+	c.recs = append(c.recs, rec)
+}
+
+// Records returns the collected decisions in recording order. The
+// returned slice is a snapshot; its records are not copied again, so
+// callers must not mutate them.
+func (c *Collector) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Record(nil), c.recs...)
+}
+
+// CountingSink counts decision points and discards them. The tuner
+// attaches one across all of its evaluation runs to report search
+// throughput in decisions per second.
+type CountingSink struct {
+	n atomic.Int64
+}
+
+// RecordDecision implements core.DecisionSink.
+func (s *CountingSink) RecordDecision(core.DecisionPoint) { s.n.Add(1) }
+
+// Count returns how many decisions have been recorded.
+func (s *CountingSink) Count() int64 { return s.n.Load() }
+
+// Script converts a decision-log prefix into the pinned replay script
+// core.Forced consumes: one ScriptChoice per record, in order.
+func Script(records []Record) []core.ScriptChoice {
+	out := make([]core.ScriptChoice, len(records))
+	for i := range records {
+		r := &records[i]
+		out[i] = core.ScriptChoice{
+			Time:     r.Time,
+			Switched: r.Switched,
+			Bid:      r.Chosen.Bid,
+			Zones:    r.Chosen.Zones,
+			Policy:   r.Chosen.Policy,
+		}
+	}
+	return out
+}
+
+// scriptAlt converts one alternative into the forced-choice form.
+func scriptAlt(a Alt) core.ScriptChoice {
+	return core.ScriptChoice{Bid: a.Bid, Zones: a.Zones, Policy: a.Policy}
+}
+
+// altsEqual reports whether two alternatives name the same permutation
+// (bid, zone set, policy family), ignoring predicted cost.
+func altsEqual(a, b Alt) bool {
+	if a.Bid != b.Bid || a.Policy != b.Policy || len(a.Zones) != len(b.Zones) {
+		return false
+	}
+	for i := range a.Zones {
+		if a.Zones[i] != b.Zones[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+package decision
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Digest hashes every externally observable field of a run result —
+// costs, completion, time attribution, counters and the full charge
+// ledger — into a compact FNV-64a hex string. Equal digests mean equal
+// runs; the differential suite uses it to assert that a counterfactual
+// replay and the from-scratch pinned-choice oracle produced bit-for-bit
+// identical executions (the same discipline the chaos soak applies to
+// whole-run replays).
+func Digest(res *sim.Result) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(math.Float64bits(res.Cost))
+	put(math.Float64bits(res.SpotCost))
+	put(math.Float64bits(res.OnDemandCost))
+	put(uint64(res.FinishTime))
+	put(uint64(res.Committed))
+	put(uint64(res.ReworkSeconds))
+	put(uint64(res.OverheadSeconds))
+	put(uint64(res.MaxProgress))
+	for _, v := range []bool{res.Completed, res.DeadlineMet, res.SwitchedOnDemand} {
+		if v {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	for _, v := range []int{res.Checkpoints, res.AbortedCheckpoints, res.Restarts,
+		res.ProviderKills, res.UserReleases, res.SpecSwitches} {
+		put(uint64(v))
+	}
+	for _, e := range res.Ledger.Entries {
+		h.Write([]byte(e.Zone))
+		put(uint64(e.HourStart))
+		put(math.Float64bits(e.Rate))
+		flags := byte(0)
+		if e.OnDemand {
+			flags |= 1
+		}
+		if e.Partial {
+			flags |= 2
+		}
+		h.Write([]byte{flags})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,69 @@
+package decision
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenCell is the fixed matrix cell the regret-report fixtures pin;
+// everything downstream (simulation, replay sweep, formatting) is
+// deterministic, so the artifacts must be byte-stable.
+func goldenReport(t *testing.T) *Report {
+	t.Helper()
+	r := cellReplayer(cell{regime: "high", seed: 13, cands: "both"})
+	baseline, log, err := r.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Replay(baseline, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// checkGolden byte-compares got against testdata/name, rewriting the
+// fixture instead when REGEN_GOLDEN=1 is set (commit the result).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("REGEN_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (REGEN_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden:\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestRegretReportCSVGolden pins the regret CSV artifact byte-for-byte.
+func TestRegretReportCSVGolden(t *testing.T) {
+	rep := goldenReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "regret.csv.golden", buf.Bytes())
+}
+
+// TestRegretReportTableGolden pins the human-readable regret table.
+func TestRegretReportTableGolden(t *testing.T) {
+	rep := goldenReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "regret.table.golden", buf.Bytes())
+}

@@ -1,0 +1,274 @@
+package decision
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// cell is one (trace-regime, seed, candidate-set) coordinate of the
+// differential matrix — the same regimes the chaos soak exercises.
+type cell struct {
+	regime string
+	seed   uint64
+	cands  string
+}
+
+// regimeSet cuts the standard chaos window (start five days in, two
+// days of history) from the named regime.
+func regimeSet(regime string, seed uint64) (hist, run *trace.Set) {
+	var set *trace.Set
+	switch regime {
+	case "low":
+		set = tracegen.LowVolatility(seed)
+	case "high":
+		set = tracegen.HighVolatility(seed)
+	case "spike":
+		set = tracegen.LowVolatilityWithMegaSpike(seed)
+	default:
+		panic("unknown regime " + regime)
+	}
+	start := set.Start() + 5*24*trace.Hour
+	return set.Slice(start-2*24*trace.Hour, start), set.Slice(start, start+2*24*trace.Hour)
+}
+
+// candidateSet resolves a candidate-set name to policy factories.
+func candidateSet(name string) []core.PolicyFactory {
+	all := core.DefaultAdaptiveCandidates()
+	switch name {
+	case "periodic":
+		return all[:1]
+	case "markov":
+		return all[1:2]
+	case "both":
+		return all
+	default:
+		panic("unknown candidate set " + name)
+	}
+}
+
+// cellReplayer builds the replayer for one matrix cell: a deliberately
+// small grid (3 bids, N<=2, 6-hour window) so the full matrix stays
+// fast under -race while still producing multi-decision runs with real
+// rivals.
+func cellReplayer(c cell) *Replayer {
+	hist, run := regimeSet(c.regime, c.seed)
+	cands := candidateSet(c.cands)
+	return &Replayer{
+		Cfg: sim.Config{
+			Trace:          run,
+			History:        hist,
+			Work:           4 * trace.Hour,
+			Deadline:       7 * trace.Hour,
+			CheckpointCost: 300,
+			RestartCost:    300,
+			Delay:          market.FixedDelay(300),
+			Seed:           c.seed,
+		},
+		New: func() *core.Adaptive {
+			return &core.Adaptive{
+				Bids:             []float64{0.47, 0.81, 1.67},
+				MaxZones:         2,
+				EstimationWindow: 6 * trace.Hour,
+				Candidates:       cands,
+			}
+		},
+		TopK: 2,
+	}
+}
+
+// matrixCells enumerates the differential matrix.
+func matrixCells() []cell {
+	var out []cell
+	for _, regime := range []string{"low", "high", "spike"} {
+		for _, seed := range []uint64{13, 29} {
+			for _, cands := range []string{"periodic", "both"} {
+				out = append(out, cell{regime: regime, seed: seed, cands: cands})
+			}
+		}
+	}
+	return out
+}
+
+// TestCounterfactualMatchesOracleMatrix is the tentpole differential
+// suite: for every (policy-set × seed × trace-regime) cell, forcing a
+// rival at the first, middle and last decision must produce a run whose
+// digest is bit-identical to a from-scratch sim.Machine oracle that
+// replays the counterfactual's own decision log with every choice
+// pinned and nothing evaluated. Run it under -race.
+func TestCounterfactualMatchesOracleMatrix(t *testing.T) {
+	for _, c := range matrixCells() {
+		c := c
+		t.Run(c.regime+"/"+c.cands, func(t *testing.T) {
+			t.Parallel()
+			r := cellReplayer(c)
+			baseline, log, err := r.Baseline()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(log) == 0 {
+				t.Fatal("empty decision log")
+			}
+			// The recorded log, replayed fully pinned, must reproduce
+			// the baseline run exactly.
+			oracle, err := r.Oracle(log)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oracle.Digest != baseline.Digest {
+				t.Fatalf("pinned replay of the baseline log diverged:\nbaseline %s %+v\noracle   %s %+v",
+					baseline.Digest, baseline, oracle.Digest, oracle)
+			}
+			seqs := []int{0}
+			if n := len(log); n > 1 {
+				seqs = append(seqs, n/2, n-1)
+			}
+			for _, seq := range seqs {
+				for _, task := range r.rivalsOf(&log[seq]) {
+					cf, cfLog, err := r.Counterfactual(log, task.seq, task.rival)
+					if err != nil {
+						t.Fatalf("seq %d rank %d: %v", task.seq, task.rank, err)
+					}
+					cfOracle, err := r.Oracle(cfLog)
+					if err != nil {
+						t.Fatalf("seq %d rank %d oracle: %v", task.seq, task.rank, err)
+					}
+					if cf.Digest != cfOracle.Digest {
+						t.Fatalf("counterfactual seq %d rank %d diverged from oracle:\nreplay %s %+v\noracle %s %+v",
+							task.seq, task.rank, cf.Digest, cf, cfOracle.Digest, cfOracle)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForcingChosenYieldsZeroRegret is the zero-regret property: at
+// every decision point of a recorded run, forcing the originally-chosen
+// permutation must reproduce the baseline run bit-identically — the
+// counterfactual machinery may not perturb a replay whose forced choice
+// changes nothing.
+func TestForcingChosenYieldsZeroRegret(t *testing.T) {
+	r := cellReplayer(cell{regime: "high", seed: 13, cands: "both"})
+	baseline, log, err := r.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := range log {
+		cf, _, err := r.Counterfactual(log, seq, log[seq].Chosen)
+		if err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		if cf.Digest != baseline.Digest {
+			t.Fatalf("forcing the chosen permutation at seq %d changed the run:\nbaseline %s %+v\nreplay   %s %+v",
+				seq, baseline.Digest, baseline, cf.Digest, cf)
+		}
+		if cf.Cost != baseline.Cost {
+			t.Fatalf("seq %d: nonzero regret %g forcing the chosen permutation", seq, cf.Cost-baseline.Cost)
+		}
+	}
+}
+
+// TestBaselineDeterministic replays the same cell twice and requires
+// byte-identical decision logs and outcomes, including the top-k rival
+// ordering the replay sweep depends on.
+func TestBaselineDeterministic(t *testing.T) {
+	r := cellReplayer(cell{regime: "spike", seed: 29, cands: "both"})
+	o1, l1, err := r.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, l2, err := r.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o2 {
+		t.Fatalf("outcomes differ:\n%+v\n%+v", o1, o2)
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatalf("decision logs differ across identical runs:\n%+v\n%+v", l1, l2)
+	}
+	for i := range l1 {
+		r1, r2 := r.rivalsOf(&l1[i]), r.rivalsOf(&l2[i])
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("top-k rivals differ at seq %d: %+v vs %+v", i, r1, r2)
+		}
+	}
+}
+
+// TestNaiveCounterfactualIdentical checks the naive (no pinned prefix,
+// fresh machine) counterfactual path produces the same digest as the
+// scripted fast path — the precondition for the benchmark comparing
+// their speed.
+func TestNaiveCounterfactualIdentical(t *testing.T) {
+	r := cellReplayer(cell{regime: "high", seed: 29, cands: "both"})
+	_, log, err := r.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := len(log) / 2
+	tasks := r.rivalsOf(&log[seq])
+	if len(tasks) == 0 {
+		t.Skip("no rivals at midpoint decision")
+	}
+	fast, _, err := r.Counterfactual(log, seq, tasks[0].rival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := *r
+	naive.Naive = true
+	slow, _, err := naive.Counterfactual(log, seq, tasks[0].rival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Digest != slow.Digest {
+		t.Fatalf("naive and scripted counterfactuals diverge:\nfast  %s %+v\nnaive %s %+v",
+			fast.Digest, fast, slow.Digest, slow)
+	}
+}
+
+// TestReplayAggregatesRegret end-to-ends the sweep on one cell: the
+// report must cover every decision, count its counterfactuals, and
+// aggregate per-decision regret consistently with its own rivals.
+func TestReplayAggregatesRegret(t *testing.T) {
+	r := cellReplayer(cell{regime: "low", seed: 13, cands: "both"})
+	baseline, log, err := r.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Replay(baseline, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Decisions) != len(log) {
+		t.Fatalf("report covers %d decisions, want %d", len(rep.Decisions), len(log))
+	}
+	total, max, n := 0.0, 0.0, 0
+	for _, d := range rep.Decisions {
+		n += len(d.Rivals)
+		want := 0.0
+		for _, cf := range d.Rivals {
+			if saved := -cf.CostDelta; saved > want {
+				want = saved
+			}
+		}
+		if d.Regret != want {
+			t.Fatalf("seq %d regret %g inconsistent with rivals (want %g)", d.Seq, d.Regret, want)
+		}
+		total += d.Regret
+		if d.Regret > max {
+			max = d.Regret
+		}
+	}
+	if n != rep.Counterfactuals {
+		t.Fatalf("counterfactual count %d, want %d", rep.Counterfactuals, n)
+	}
+	if rep.TotalRegret != total || rep.MaxRegret != max {
+		t.Fatalf("aggregates total=%g max=%g, want total=%g max=%g", rep.TotalRegret, rep.MaxRegret, total, max)
+	}
+}

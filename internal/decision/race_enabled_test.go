@@ -1,0 +1,7 @@
+//go:build race
+
+package decision
+
+// raceEnabled reports whether the race detector is on; allocation pins
+// skip under it because instrumentation perturbs allocation counts.
+const raceEnabled = true

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is on; the allocation
+// pin skips under it because sync.Pool deliberately drops Puts there.
+const raceEnabled = true

@@ -74,8 +74,10 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // Record appends one completed span to the ring, assigning its ID (and
-// Trace, for roots) if unset. It is nil-safe and safe for concurrent
-// use.
+// Trace, for roots) if unset. The span's attributes are copied into the
+// ring slot's reused backing, so recording is allocation-free once the
+// ring has wrapped and each slot's backing has grown to the working
+// attribute count. It is nil-safe and safe for concurrent use.
 func (t *Tracer) Record(s Span) {
 	if t == nil {
 		return
@@ -90,17 +92,24 @@ func (t *Tracer) Record(s Span) {
 		s.Clock = WallClock
 	}
 	t.mu.Lock()
+	var dst *Span
 	if len(t.buf) < cap(t.buf) {
-		t.buf = append(t.buf, s)
+		t.buf = t.buf[:len(t.buf)+1]
+		dst = &t.buf[len(t.buf)-1]
 	} else {
-		t.buf[t.next] = s
+		dst = &t.buf[t.next]
 		t.next = (t.next + 1) % len(t.buf)
 	}
+	attrs := dst.Attrs[:0]
+	*dst = s
+	dst.Attrs = append(attrs, s.Attrs...)
 	t.total++
 	t.mu.Unlock()
 }
 
-// Spans returns a copy of the ring's contents, oldest first.
+// Spans returns a copy of the ring's contents, oldest first. Attribute
+// slices are deep-copied — the ring reuses slot backings across
+// overwrites, so callers must never see them.
 func (t *Tracer) Spans() []Span {
 	if t == nil {
 		return nil
@@ -108,11 +117,22 @@ func (t *Tracer) Spans() []Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]Span, 0, len(t.buf))
+	appendCopy := func(src []Span) {
+		for i := range src {
+			sp := src[i]
+			if len(sp.Attrs) > 0 {
+				sp.Attrs = append([]Attr(nil), sp.Attrs...)
+			} else {
+				sp.Attrs = nil
+			}
+			out = append(out, sp)
+		}
+	}
 	if len(t.buf) == cap(t.buf) {
-		out = append(out, t.buf[t.next:]...)
-		out = append(out, t.buf[:t.next]...)
+		appendCopy(t.buf[t.next:])
+		appendCopy(t.buf[:t.next])
 	} else {
-		out = append(out, t.buf...)
+		appendCopy(t.buf)
 	}
 	return out
 }
@@ -136,13 +156,39 @@ func (t *Tracer) Capacity() int {
 	return cap(t.buf)
 }
 
+// pooledSpan is the sync.Pool unit behind ActiveSpan: the span under
+// construction plus a generation counter that End bumps before
+// releasing, so stale handles (SetAttr/End after End, double End)
+// detect the reuse and become no-ops instead of corrupting whichever
+// span the pool hands the backing to next.
+type pooledSpan struct {
+	Span
+	gen uint64
+}
+
+// spanPool recycles in-progress spans (and their attribute backings)
+// across Start/End cycles, making the steady-state span lifecycle
+// allocation-free.
+var spanPool = sync.Pool{New: func() any { return new(pooledSpan) }}
+
+// getSpan leases a pooled span initialized to s, preserving the pooled
+// attribute backing.
+func getSpan(s Span) *pooledSpan {
+	ps := spanPool.Get().(*pooledSpan)
+	attrs := ps.Attrs[:0]
+	ps.Span = s
+	ps.Attrs = attrs
+	return ps
+}
+
 // ActiveSpan is an in-progress wall-clock span. The zero value is inert
 // — every method is a no-op — which is what FromContext and a nil
 // tracer's Start return, so callers never branch on tracing being
 // enabled.
 type ActiveSpan struct {
-	t *Tracer
-	s *Span
+	t   *Tracer
+	s   *pooledSpan
+	gen uint64
 }
 
 // Start begins a wall-clock root span. On a nil tracer it returns the
@@ -152,37 +198,42 @@ func (t *Tracer) Start(name string) ActiveSpan {
 		return ActiveSpan{}
 	}
 	id := t.ids.Add(1)
-	return ActiveSpan{t: t, s: &Span{
-		Trace: id, ID: id, Name: name, Clock: WallClock, Start: time.Now().UnixNano(),
-	}}
+	ps := getSpan(Span{Trace: id, ID: id, Name: name, Clock: WallClock, Start: time.Now().UnixNano()})
+	return ActiveSpan{t: t, s: ps, gen: ps.gen}
 }
 
-// Child begins a wall-clock span under a.
+// Child begins a wall-clock span under a. A child started from an
+// already-ended span is inert.
 func (a ActiveSpan) Child(name string) ActiveSpan {
-	if a.t == nil {
+	if a.t == nil || a.s.gen != a.gen {
 		return ActiveSpan{}
 	}
-	return ActiveSpan{t: a.t, s: &Span{
+	ps := getSpan(Span{
 		Trace: a.s.Trace, ID: a.t.ids.Add(1), Parent: a.s.ID,
 		Name: name, Clock: WallClock, Start: time.Now().UnixNano(),
-	}}
+	})
+	return ActiveSpan{t: a.t, s: ps, gen: ps.gen}
 }
 
 // SetAttr annotates the span. Attributes set after End are lost.
 func (a ActiveSpan) SetAttr(key, value string) {
-	if a.t == nil {
+	if a.t == nil || a.s.gen != a.gen {
 		return
 	}
 	a.s.Attrs = append(a.s.Attrs, Attr{Key: key, Value: value})
 }
 
-// End stamps the span's end time and records it.
+// End stamps the span's end time, records it and releases the span's
+// backing for reuse. A second End (or any later use of the handle) is a
+// no-op.
 func (a ActiveSpan) End() {
-	if a.t == nil {
+	if a.t == nil || a.s.gen != a.gen {
 		return
 	}
 	a.s.End = time.Now().UnixNano()
-	a.t.Record(*a.s)
+	a.s.gen++
+	a.t.Record(a.s.Span)
+	spanPool.Put(a.s)
 }
 
 // Recording reports whether the span is backed by a tracer.

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/leak"
+)
+
+// TestSpanSteadyStateAllocs pins the decision-capture span path at zero
+// steady-state allocations: once the ring has wrapped and the span pool
+// and per-slot attribute backings are warm, a full
+// Start/SetAttr×4/Child/End lifecycle must not allocate.
+func TestSpanSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector, defeating the warm pool")
+	}
+	tr := NewTracer(64)
+	record := func() {
+		sp := tr.Start("adaptive.decision")
+		sp.SetAttr("trigger", "hour-boundary")
+		sp.SetAttr("bid", "1.07")
+		sp.SetAttr("zones", "2")
+		sp.SetAttr("cost", "14.8")
+		child := sp.Child("adaptive.decision.eval")
+		child.SetAttr("grid", "45")
+		child.End()
+		sp.End()
+	}
+	// Warm past the ring capacity so every slot's attribute backing has
+	// reached the working shape and the span pool is primed.
+	for i := 0; i < 3*tr.Capacity(); i++ {
+		record()
+	}
+	if allocs := testing.AllocsPerRun(200, record); allocs != 0 {
+		t.Fatalf("steady-state span lifecycle allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestSpanEndedHandleInert verifies the generation guard: using a span
+// handle after End (double End, late SetAttr, late Child) must neither
+// record again nor corrupt whichever span has since reused the pooled
+// backing.
+func TestSpanEndedHandleInert(t *testing.T) {
+	tr := NewTracer(16)
+	sp := tr.Start("first")
+	sp.End()
+	before := tr.Total()
+	sp.End() // double End: no second record
+	if tr.Total() != before {
+		t.Fatalf("double End recorded a span: total %d -> %d", before, tr.Total())
+	}
+	// The pooled backing is likely reused by the next span; stale
+	// writes must not touch it.
+	next := tr.Start("second")
+	sp.SetAttr("stale", "write")
+	if c := sp.Child("stale-child"); c.Recording() {
+		t.Fatal("Child of an ended span should be inert")
+	}
+	next.End()
+	spans := tr.Spans()
+	last := spans[len(spans)-1]
+	if last.Name != "second" || len(last.Attrs) != 0 {
+		t.Fatalf("stale handle corrupted reused span: %+v", last)
+	}
+}
+
+// TestSpanRecordConcurrent hammers the recording path from many
+// goroutines under the race detector and leak-checks the exercise: the
+// ring must retain exactly capacity spans, every retained span must be
+// internally consistent (its attributes are its own, not a neighbour's)
+// and no goroutine may outlive the run.
+func TestSpanRecordConcurrent(t *testing.T) {
+	base := leak.Baseline()
+	tr := NewTracer(128)
+	const workers = 8
+	const perWorker = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := [...]string{"alpha", "beta", "gamma", "delta"}
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Start(names[w%len(names)])
+				sp.SetAttr("k", names[(w+i)%len(names)])
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Total(); got != workers*perWorker {
+		t.Fatalf("recorded %d spans, want %d", got, workers*perWorker)
+	}
+	spans := tr.Spans()
+	if len(spans) != tr.Capacity() {
+		t.Fatalf("ring holds %d spans, want capacity %d", len(spans), tr.Capacity())
+	}
+	for _, sp := range spans {
+		if len(sp.Attrs) != 1 || sp.Attrs[0].Key != "k" {
+			t.Fatalf("span %q has inconsistent attrs: %+v", sp.Name, sp.Attrs)
+		}
+	}
+	leak.CheckT(t, base)
+}
+
+// TestSpansDeepCopiesAttrs verifies readers never alias ring slot
+// backings: mutating a returned span's attributes must not show up in a
+// later read.
+func TestSpansDeepCopiesAttrs(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Start("op")
+	sp.SetAttr("key", "original")
+	sp.End()
+	first := tr.Spans()
+	first[0].Attrs[0].Value = "mutated"
+	second := tr.Spans()
+	if second[0].Attrs[0].Value != "original" {
+		t.Fatalf("Spans() aliased the ring backing: %+v", second[0].Attrs)
+	}
+}

@@ -97,6 +97,27 @@ func Run(workers, n int, fn func(i int)) {
 	}
 }
 
+// RunErr is Run for fallible tasks: fn may return an error, every item
+// still runs exactly once (an error does not cancel the remaining
+// items), and the first error by item index — not by completion order,
+// so the result is deterministic — is returned after all items finish.
+// Panics propagate exactly as in Run.
+func RunErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	Run(workers, n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runOne invokes fn(i) inline, annotating a panic with the item index.
 func runOne(i int, fn func(i int)) {
 	if tp := capture(i, fn); tp != nil {

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"math"
@@ -118,6 +119,24 @@ func Gauge(value, lo, hi float64, width int, mark rune) string {
 		}
 	}
 	return string(out)
+}
+
+// WriteCSV emits one header row and the given rows as RFC 4180 CSV.
+// Cells are quoted only when needed, so the output of numeric tables is
+// byte-stable across runs — which is what the golden regret-report
+// fixtures rely on.
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // WriteBoxesCSV emits labelled boxplots as CSV rows

@@ -35,9 +35,17 @@
 # own gates (zero client errors, snapshot resume, determinism), so a
 # violated fleet invariant fails this script too.
 #
-# Usage: scripts/bench.sh [obs-output] [batch-output] [cluster-output] [stream-output] [fleet-output]
+# The counterfactual-replay pair (CounterfactualReplay vs
+# CounterfactualNaive) measures scripted decision replay — pinned
+# prefix, no evaluator sweeps — against naively re-simulating the whole
+# prefix with a live strategy, on the paper's full §7 evaluation grid;
+# together with the TunerSearch throughput (decisions/s) it lands in
+# BENCH_tuner.json. Scripted replay must be at least 3x faster than the
+# naive path — the point of recording decisions — or the script fails.
+#
+# Usage: scripts/bench.sh [obs-output] [batch-output] [cluster-output] [stream-output] [fleet-output] [tuner-output]
 #        (defaults BENCH_obs.json, BENCH_batch.json, BENCH_cluster.json,
-#        BENCH_stream.json, BENCH_chaos_fleet.json)
+#        BENCH_stream.json, BENCH_chaos_fleet.json, BENCH_tuner.json)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -46,6 +54,7 @@ batchout=${2:-BENCH_batch.json}
 clusterout=${3:-BENCH_cluster.json}
 streamout=${4:-BENCH_stream.json}
 fleetout=${5:-BENCH_chaos_fleet.json}
+tunerout=${6:-BENCH_tuner.json}
 count=${BENCH_COUNT:-3}
 clients=${BENCH_CLIENTS:-50}
 duration=${BENCH_DURATION:-3s}
@@ -228,6 +237,55 @@ END {
 ' "$tmp" >"$streamout"
 
 echo "bench: wrote $streamout" >&2
+
+# Counterfactual/tuner report: scripted replay vs naive re-simulation
+# (gated at 3x) plus tuner search throughput. BenchmarkTunerSearch
+# reports an extra custom "decisions/s" column, so fields are located
+# by their unit token rather than by position.
+tunertmp=$(mktemp)
+echo "bench: go test -bench 'Counterfactual|TunerSearch' -count $count ./internal/decision" >&2
+go test -run '^$' -bench 'CounterfactualReplay|CounterfactualNaive|TunerSearch' -benchmem \
+	-count "$count" ./internal/decision | tee /dev/stderr >"$tunertmp"
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	ns = ""; dps = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "decisions/s") dps = $i
+	}
+	if (ns == "") next
+	if (!(name in best) || ns + 0 < best[name] + 0) {
+		best[name] = ns
+		if (dps != "") rate[name] = dps
+	}
+}
+END {
+	fast = best["CounterfactualReplay"]; slow = best["CounterfactualNaive"]
+	search = best["TunerSearch"]
+	if (fast == "" || slow == "" || search == "") {
+		print "bench: missing CounterfactualReplay/CounterfactualNaive/TunerSearch rows" > "/dev/stderr"
+		exit 1
+	}
+	speed = (slow + 0) / (fast + 0)
+	printf "{\n"
+	printf "  \"counterfactual\": {\"replay_ns_per_op\": %s, \"naive_ns_per_op\": %s, \"speedup_x\": %.2f},\n", \
+		fast, slow, speed
+	printf "  \"tuner\": {\"search_ns_per_op\": %s, \"decisions_per_sec\": %s}\n", \
+		search, (rate["TunerSearch"] == "" ? 0 : rate["TunerSearch"])
+	printf "}\n"
+	if (speed < 3) {
+		printf "bench: scripted counterfactual replay only %.2fx faster than naive re-simulation (gate: 3x)\n", speed > "/dev/stderr"
+		exit 1
+	}
+}
+' "$tunertmp" >"$tunerout"
+rm -f "$tunertmp"
+
+echo "bench: wrote $tunerout" >&2
 
 echo "bench: chaossim -fleet" >&2
 go run ./cmd/chaossim -fleet -runs "${BENCH_FLEET_RUNS:-20}" -seed 1 -json >"$fleetout"
